@@ -1,0 +1,229 @@
+//! Maheshwari–Liskov-style distributed back-tracing.
+//!
+//! A suspect object is garbage iff no local root reaches it. Back-tracing
+//! establishes this by walking the reference graph *backwards* from the
+//! suspect: for each incoming remote reference, visit the process holding
+//! the stub; if the stub is locally reachable there, a root was found and
+//! the suspect is live; otherwise recurse into the references that lead to
+//! that stub (`ScionsTo` — the same summarized inverse the DCDA uses).
+//! A per-trace visited set ("trace ids" in [11]) terminates cycles: a
+//! reference reached twice contributes no new liveness evidence.
+//!
+//! Costs charged, following the paper's critique:
+//! * every remote step is a synchronous call + reply (2 messages), forming
+//!   a chain of nested RPCs whose depth is the path length;
+//! * every process visited must hold the trace's visited marks until the
+//!   trace completes (`peak_state_entries`).
+
+use acdgc_snapshot::{summarize, SummarizedGraph};
+use acdgc_sim::System;
+use acdgc_model::{ProcId, RefId};
+use rustc_hash::FxHashSet;
+
+/// Outcome of back-tracing one suspect.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BacktraceReport {
+    /// The suspect was proven garbage (no root reaches it).
+    pub garbage: bool,
+    /// Remote calls + replies.
+    pub messages: u64,
+    /// Deepest nested-RPC chain.
+    pub max_depth: u64,
+    /// References marked visited — state processes must retain per trace.
+    pub peak_state_entries: usize,
+    /// Scions deleted on a garbage verdict.
+    pub scions_deleted: u64,
+}
+
+/// The back-tracer. Builds fresh summaries (the same information the DCDA
+/// consumes) and walks them backwards.
+pub struct Backtracer {
+    summaries: Vec<SummarizedGraph>,
+}
+
+impl Backtracer {
+    /// Snapshot every process. Mutator-quiescent by assumption; [11] needs
+    /// transfer barriers to be safe under mutation, which are out of scope
+    /// for the baseline comparison.
+    pub fn new(sys: &System) -> Self {
+        let summaries = sys
+            .procs()
+            .iter()
+            .map(|p| summarize(&p.heap, &p.tables, 1, acdgc_model::SimTime(0)))
+            .collect();
+        Backtracer { summaries }
+    }
+
+    /// Back-trace the reference `suspect` (a scion at `owner`): is the
+    /// subgraph it protects reachable from any root?
+    pub fn trace(&self, sys: &mut System, owner: ProcId, suspect: RefId) -> BacktraceReport {
+        let mut report = BacktraceReport::default();
+        let mut visited: FxHashSet<RefId> = FxHashSet::default();
+        let live = self.ref_reaches_root(suspect, owner, 0, &mut visited, &mut report);
+        report.peak_state_entries = visited.len();
+        report.garbage = !live;
+        if report.garbage {
+            // Verdict: delete the suspect scion (and every visited scion at
+            // its owner — they are part of the same dead structure, but the
+            // conservative variant deletes just the suspect, like the DCDA).
+            if sys.proc_mut(owner).tables.remove_scion(suspect).is_some() {
+                report.scions_deleted += 1;
+            }
+        }
+        report
+    }
+
+    /// Does reference `r` (scion at `owner`) ultimately originate from a
+    /// root? Walks to the stub's process and backtracks its inbound paths.
+    fn ref_reaches_root(
+        &self,
+        r: RefId,
+        owner: ProcId,
+        depth: u64,
+        visited: &mut FxHashSet<RefId>,
+        report: &mut BacktraceReport,
+    ) -> bool {
+        report.max_depth = report.max_depth.max(depth);
+        if !visited.insert(r) {
+            return false; // already being traced: no new evidence
+        }
+        // Find the process holding the matching stub: the scion knows.
+        let Some(scion) = self.summaries[owner.index()].scion(r) else {
+            // Unknown reference (stale summary): conservatively live.
+            return true;
+        };
+        let holder = scion.from_proc;
+        // One remote call to `holder` and its reply.
+        report.messages += 2;
+        let Some(stub) = self.summaries[holder.index()].stub(r) else {
+            // The stub is not in the holder's summary: it is not reachable
+            // from any root or scion there — dead end, no root this way.
+            return false;
+        };
+        if stub.local_reach {
+            return true; // a root reaches the stub: suspect is live
+        }
+        // Recurse into every reference that leads to this stub.
+        for &inbound in &stub.scions_to {
+            if self.ref_reaches_root(inbound, holder, depth + 1, visited, report) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Back-trace every scion in the system once, deleting proven-garbage
+    /// ones, then run substrate rounds to reclaim objects. Returns the
+    /// merged report.
+    pub fn collect_all(sys: &mut System) -> BacktraceReport {
+        let tracer = Backtracer::new(sys);
+        let suspects: Vec<(ProcId, RefId)> = sys
+            .procs()
+            .iter()
+            .flat_map(|p| {
+                let owner = p.proc();
+                p.tables.scions().map(move |s| (owner, s.ref_id)).collect::<Vec<_>>()
+            })
+            .collect();
+        let mut merged = BacktraceReport::default();
+        for (owner, r) in suspects {
+            if sys.proc(owner).tables.scion(r).is_none() {
+                continue; // deleted by an earlier verdict
+            }
+            let report = tracer.trace(sys, owner, r);
+            merged.messages += report.messages;
+            merged.max_depth = merged.max_depth.max(report.max_depth);
+            merged.peak_state_entries = merged.peak_state_entries.max(report.peak_state_entries);
+            merged.scions_deleted += report.scions_deleted;
+        }
+        merged.garbage = merged.scions_deleted > 0;
+        // Substrate reclamation.
+        for _ in 0..4 {
+            sys.advance(acdgc_model::SimDuration::from_millis(1));
+            for p in 0..sys.num_procs() {
+                sys.run_lgc(ProcId(p as u16));
+            }
+            sys.drain_network();
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acdgc_sim::scenarios;
+    use acdgc_model::{GcConfig, NetConfig};
+
+    fn system(n: usize) -> System {
+        System::new(n, GcConfig::manual(), NetConfig::instant(), 23)
+    }
+
+    #[test]
+    fn garbage_cycle_is_proven_garbage() {
+        let mut sys = system(4);
+        let fig = scenarios::fig3(&mut sys);
+        sys.remove_root(fig.a).unwrap();
+        let tracer = Backtracer::new(&sys);
+        let report = tracer.trace(&mut sys, fig.p2, fig.r_bf);
+        assert!(report.garbage, "{report:?}");
+        assert!(report.messages >= 8, "walks the whole ring: {report:?}");
+        assert!(report.max_depth >= 3);
+        assert_eq!(report.scions_deleted, 1);
+    }
+
+    #[test]
+    fn live_cycle_is_proven_live() {
+        let mut sys = system(4);
+        let fig = scenarios::fig3(&mut sys);
+        // A still rooted: B's stub at P1 is locally reachable.
+        let tracer = Backtracer::new(&sys);
+        let report = tracer.trace(&mut sys, fig.p2, fig.r_bf);
+        assert!(!report.garbage);
+        assert_eq!(report.scions_deleted, 0);
+    }
+
+    #[test]
+    fn dependency_makes_cycle_live_until_dropped() {
+        let mut sys = system(4);
+        let fig = scenarios::fig1(&mut sys);
+        let owner = fig.x.proc;
+        let tracer = Backtracer::new(&sys);
+        let report = tracer.trace(&mut sys, owner, fig.r_zx);
+        assert!(!report.garbage, "w -> x keeps the cycle live");
+        // Drop w's root; re-summarize and trace again.
+        sys.remove_root(fig.w).unwrap();
+        let tracer = Backtracer::new(&sys);
+        let report = tracer.trace(&mut sys, owner, fig.r_zx);
+        assert!(report.garbage);
+    }
+
+    #[test]
+    fn collect_all_reclaims_fig4() {
+        let mut sys = system(6);
+        let _fig = scenarios::fig4(&mut sys);
+        let report = Backtracer::collect_all(&mut sys);
+        // A second sweep may be needed for scions orphaned by the first.
+        let _ = Backtracer::collect_all(&mut sys);
+        for _ in 0..4 {
+            sys.gc_round();
+        }
+        assert_eq!(sys.total_live_objects(), 0, "{report:?}");
+        assert_eq!(sys.metrics.safety_violations(), 0);
+    }
+
+    #[test]
+    fn nested_rpc_depth_grows_with_ring_span() {
+        let mut sys = system(6);
+        let procs: Vec<ProcId> = (0..6).map(ProcId).collect();
+        let ring = scenarios::ring(&mut sys, &procs, 2, false);
+        let tracer = Backtracer::new(&sys);
+        let owner = ring.heads[0].proc;
+        let report = tracer.trace(&mut sys, owner, ring.refs[0]);
+        assert!(report.garbage);
+        assert!(
+            report.max_depth >= 5,
+            "depth tracks the ring span: {report:?}"
+        );
+    }
+}

@@ -1,0 +1,252 @@
+//! Hughes-style global timestamp propagation.
+//!
+//! Model (one *round* = one globally synchronized step):
+//!
+//! 1. every process recomputes its stub stamps: a stub reachable from a
+//!    local root is stamped with the current epoch; a stub reachable from a
+//!    scion inherits that scion's stamp (max over all sources);
+//! 2. every stub's stamp is sent to its scion (one message per remote
+//!    reference, every round — the "permanent cost" the paper criticizes);
+//! 3. a barrier computes the global collection threshold: stamps can have
+//!    travelled at most one hop per round, so after `diameter` rounds any
+//!    root-reachable scion carries a stamp newer than
+//!    `epoch - diameter`; older scions are provably garbage and are
+//!    deleted (their objects then fall to the ordinary LGC / reference
+//!    listing).
+//!
+//! The barrier is counted as `2·(n-1)` control messages per round
+//! (gather + broadcast), the textbook lower bound for a coordinator
+//! barrier.
+
+use acdgc_heap::lgc::closure;
+use acdgc_sim::System;
+use acdgc_model::{ProcId, RefId};
+use rustc_hash::FxHashMap;
+
+/// Outcome of a Hughes collection run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HughesReport {
+    pub rounds: u64,
+    /// Timestamp messages (one per stub per round).
+    pub stamp_messages: u64,
+    /// Barrier control messages (2·(n−1) per round).
+    pub barrier_messages: u64,
+    pub stamp_bytes: u64,
+    /// Scions reclaimed by threshold.
+    pub scions_collected: u64,
+    /// Objects reclaimed by the LGCs after scion deletion.
+    pub objects_reclaimed: u64,
+}
+
+impl HughesReport {
+    pub fn total_messages(&self) -> u64 {
+        self.stamp_messages + self.barrier_messages
+    }
+}
+
+/// The collector state: per-reference stamps for both ends.
+#[derive(Clone, Debug)]
+pub struct HughesCollector {
+    /// Assumed bound on the remote-hop diameter of live paths. Stamps need
+    /// `diameter` rounds to reach everything a root protects; collecting
+    /// below `epoch - diameter` is then safe.
+    diameter: u64,
+    epoch: u64,
+    scion_stamp: FxHashMap<RefId, u64>,
+    stub_stamp: FxHashMap<RefId, u64>,
+}
+
+impl HughesCollector {
+    pub fn new(diameter: u64) -> Self {
+        assert!(diameter >= 1);
+        HughesCollector {
+            diameter,
+            epoch: 0,
+            scion_stamp: FxHashMap::default(),
+            stub_stamp: FxHashMap::default(),
+        }
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// One synchronized round over all processes.
+    pub fn run_round(&mut self, sys: &mut System, report: &mut HughesReport) {
+        self.epoch += 1;
+        report.rounds += 1;
+        let n = sys.num_procs();
+
+        // Phase 1: local propagation in every process.
+        let mut outgoing: Vec<(RefId, u64)> = Vec::new();
+        for p in 0..n {
+            let proc = sys.proc(ProcId(p as u16));
+            let heap = &proc.heap;
+            let tables = &proc.tables;
+
+            let mut new_stub_stamp: FxHashMap<RefId, u64> = FxHashMap::default();
+            // Roots stamp with the current epoch.
+            let root_closure = closure(heap, heap.roots().collect::<Vec<_>>());
+            for &stub in &root_closure.stubs {
+                new_stub_stamp.insert(stub, self.epoch);
+            }
+            // Scions propagate their stamps.
+            for scion in tables.scions() {
+                let stamp = *self
+                    .scion_stamp
+                    .entry(scion.ref_id)
+                    .or_insert(self.epoch);
+                let reach = closure(heap, [scion.target.slot]);
+                for &stub in &reach.stubs {
+                    let entry = new_stub_stamp.entry(stub).or_insert(0);
+                    *entry = (*entry).max(stamp);
+                }
+            }
+            for (stub, stamp) in new_stub_stamp {
+                if tables.stub(stub).is_some() {
+                    self.stub_stamp.insert(stub, stamp);
+                    outgoing.push((stub, stamp));
+                }
+            }
+        }
+
+        // Phase 2: stamp messages stub -> scion.
+        for (ref_id, stamp) in outgoing {
+            report.stamp_messages += 1;
+            report.stamp_bytes += 24;
+            let s = self.scion_stamp.entry(ref_id).or_insert(0);
+            *s = (*s).max(stamp);
+        }
+
+        // Phase 3: the barrier (global agreement that the round completed).
+        report.barrier_messages += 2 * (n as u64).saturating_sub(1);
+    }
+
+    /// Delete every scion whose stamp proves it unreachable, then let the
+    /// ordinary LGC/reference-listing rounds reclaim the objects.
+    pub fn threshold_collect(&mut self, sys: &mut System, report: &mut HughesReport) {
+        if self.epoch <= self.diameter {
+            return; // threshold not yet meaningful
+        }
+        let threshold = self.epoch - self.diameter;
+        let n = sys.num_procs();
+        for p in 0..n {
+            let proc = sys.proc_mut(ProcId(p as u16));
+            let doomed: Vec<RefId> = proc
+                .tables
+                .scions()
+                .filter(|s| {
+                    self.scion_stamp
+                        .get(&s.ref_id)
+                        .is_some_and(|&st| st < threshold)
+                })
+                .map(|s| s.ref_id)
+                .collect();
+            for r in doomed {
+                if proc.tables.remove_scion(r).is_some() {
+                    report.scions_collected += 1;
+                    self.scion_stamp.remove(&r);
+                }
+            }
+        }
+    }
+
+    /// Run rounds until every distributed cycle is reclaimed or
+    /// `max_rounds` elapse. Interleaves threshold collection and the
+    /// substrate's normal LGC/reference-listing rounds (with the DCDA scans
+    /// disabled — this is the *alternative* cycle collector).
+    pub fn collect(&mut self, sys: &mut System, max_rounds: u64) -> HughesReport {
+        let mut report = HughesReport::default();
+        let before = sys.metrics.objects_reclaimed;
+        for _ in 0..max_rounds {
+            self.run_round(sys, &mut report);
+            self.threshold_collect(sys, &mut report);
+            // Substrate reclamation (LGC + NewSetStubs), no DCDA scans.
+            sys.advance(acdgc_model::SimDuration::from_millis(1));
+            for p in 0..sys.num_procs() {
+                sys.run_lgc(ProcId(p as u16));
+            }
+            sys.drain_network();
+            if sys.total_live_objects() == sys.oracle_live().len() && sys.total_scions() == 0
+            {
+                break;
+            }
+            if sys.total_live_objects() == sys.oracle_live().len()
+                && self.epoch > self.diameter + 2
+            {
+                break;
+            }
+        }
+        report.objects_reclaimed = sys.metrics.objects_reclaimed - before;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acdgc_sim::scenarios;
+    use acdgc_model::{GcConfig, NetConfig};
+
+    fn system(n: usize) -> System {
+        System::new(n, GcConfig::manual(), NetConfig::instant(), 17)
+    }
+
+    #[test]
+    fn collects_distributed_cycle() {
+        let mut sys = system(4);
+        let fig = scenarios::fig3(&mut sys);
+        sys.remove_root(fig.a).unwrap();
+        let mut hughes = HughesCollector::new(8);
+        let report = hughes.collect(&mut sys, 40);
+        assert_eq!(sys.total_live_objects(), 0, "{report:?}");
+        assert!(report.scions_collected >= 1);
+        assert_eq!(sys.metrics.safety_violations(), 0);
+    }
+
+    #[test]
+    fn preserves_live_cycle() {
+        let mut sys = system(4);
+        let _fig = scenarios::fig3(&mut sys);
+        let mut hughes = HughesCollector::new(8);
+        let _ = hughes.collect(&mut sys, 30);
+        assert_eq!(sys.total_live_objects(), 14, "rooted cycle survives");
+        assert_eq!(sys.metrics.safety_violations(), 0);
+    }
+
+    #[test]
+    fn costs_scale_with_references_every_round() {
+        let mut sys = system(4);
+        let fig = scenarios::fig3(&mut sys);
+        sys.remove_root(fig.a).unwrap();
+        let mut hughes = HughesCollector::new(8);
+        let mut report = HughesReport::default();
+        hughes.run_round(&mut sys, &mut report);
+        hughes.run_round(&mut sys, &mut report);
+        // 4 remote references -> 4 stamp messages per round, plus barrier.
+        assert_eq!(report.stamp_messages, 8);
+        assert_eq!(report.barrier_messages, 2 * 3 * 2);
+        assert_eq!(report.total_messages(), 8 + 12);
+    }
+
+    #[test]
+    fn live_chain_keeps_fresh_stamps() {
+        let mut sys = system(3);
+        let a = sys.alloc(ProcId(0), 1);
+        let b = sys.alloc(ProcId(1), 1);
+        let c = sys.alloc(ProcId(2), 1);
+        sys.add_root(a).unwrap();
+        let r1 = sys.create_remote_ref(a, b).unwrap();
+        let r2 = sys.create_remote_ref(b, c).unwrap();
+        let mut hughes = HughesCollector::new(4);
+        let mut report = HughesReport::default();
+        for _ in 0..6 {
+            hughes.run_round(&mut sys, &mut report);
+        }
+        // After >= 2 rounds the epoch has travelled both hops.
+        assert!(hughes.scion_stamp[&r1] >= hughes.epoch() - 1);
+        assert!(hughes.scion_stamp[&r2] >= hughes.epoch() - 2);
+        hughes.threshold_collect(&mut sys, &mut report);
+        assert_eq!(report.scions_collected, 0, "live chain untouched");
+    }
+}

@@ -1,0 +1,33 @@
+//! Complete-DGC baselines from the paper's related work (§5).
+//!
+//! The paper argues its detector is cheaper and less intrusive than the
+//! prior complete collectors. To reproduce that comparison (experiment A5)
+//! two representative baselines are implemented against the same substrate:
+//!
+//! * [`hughes`] — global timestamp propagation in the style of Hughes
+//!   [7]: local collections stamp everything reachable from roots with the
+//!   current epoch, stamps flow stub→scion one hop per round, and a
+//!   *globally synchronized* threshold round reclaims scions whose stamp
+//!   proves no root has reached them. Complete, but the cost structure is
+//!   exactly what the paper criticizes: continuous global work
+//!   proportional to *all* remote references, plus a barrier every round
+//!   (and in an asynchronous system the barrier is a consensus, impossible
+//!   under faults [5]).
+//! * [`backtrace`] — distributed back-tracing in the style of
+//!   Maheshwari & Liskov [11]: from a suspect, walk *backwards* through
+//!   incoming references (using the same `ScionsTo` summaries the DCDA
+//!   uses) until a root is found or all paths are exhausted. Complete and
+//!   targeted, but each trace is a chain of synchronous remote calls, and
+//!   every process must hold per-trace visited state — the two costs the
+//!   paper calls out ("direct acyclic chaining of recursive remote
+//!   procedure calls, which is clearly unscalable"; "processes to keep
+//!   state about detections on course").
+//!
+//! Both run mutator-quiescent; the DCDA's advantage under mutation (no
+//! blocking, counter-based abort) is exercised by the main test suite.
+
+pub mod backtrace;
+pub mod hughes;
+
+pub use backtrace::{BacktraceReport, Backtracer};
+pub use hughes::{HughesCollector, HughesReport};

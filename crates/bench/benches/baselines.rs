@@ -1,0 +1,57 @@
+//! A5 — DCDA vs the complete-DGC baselines of §5: wall time to reclaim a
+//! garbage ring spanning `n` processes. Message-count comparisons (where
+//! the asymmetry is starkest) are printed by `experiments a5`.
+
+use acdgc_baselines::{Backtracer, HughesCollector};
+use acdgc_bench::{prepared_ring, run_detection};
+use acdgc_model::ProcId;
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cycle_collectors");
+    group.sample_size(10);
+    for &span in &[2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("dcda", span), &span, |b, &span| {
+            b.iter_batched(
+                || prepared_ring(span, 2, 41),
+                |(mut sys, scion)| {
+                    run_detection(&mut sys, ProcId(0), scion);
+                    sys.collect_to_fixpoint(2 * span + 4);
+                    assert_eq!(sys.total_live_objects(), 0);
+                    sys
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("hughes", span), &span, |b, &span| {
+            b.iter_batched(
+                || prepared_ring(span, 2, 41),
+                |(mut sys, _scion)| {
+                    let mut hughes = HughesCollector::new((span + 2) as u64);
+                    hughes.collect(&mut sys, (4 * span + 8) as u64);
+                    assert_eq!(sys.total_live_objects(), 0);
+                    sys
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("backtrace", span), &span, |b, &span| {
+            b.iter_batched(
+                || prepared_ring(span, 2, 41),
+                |(mut sys, _scion)| {
+                    Backtracer::collect_all(&mut sys);
+                    for _ in 0..span {
+                        sys.gc_round();
+                    }
+                    assert_eq!(sys.total_live_objects(), 0);
+                    sys
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! F3 — detection cost on simple distributed cycles (Figure 3 family):
+//! one full CDM walk around a garbage ring, as a function of per-process
+//! subgraph size. The walk is one message per inter-process edge — cost
+//! independent of how many *objects* each process holds (summarization
+//! already collapsed them).
+
+use acdgc_bench::{prepared_ring, run_detection};
+use acdgc_model::ProcId;
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_detection");
+    group.sample_size(20);
+    for &objs in &[1usize, 10, 100] {
+        group.bench_with_input(
+            BenchmarkId::new("ring4_detect", format!("{objs}obj_per_proc")),
+            &objs,
+            |b, &objs| {
+                b.iter_batched(
+                    || prepared_ring(4, objs, 11),
+                    |(mut sys, scion)| {
+                        assert_eq!(run_detection(&mut sys, ProcId(0), scion), 1);
+                        sys
+                    },
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    // Setup cost for reference: summarization is where graph size matters.
+    for &objs in &[1usize, 10, 100] {
+        group.bench_with_input(
+            BenchmarkId::new("ring4_prepare", format!("{objs}obj_per_proc")),
+            &objs,
+            |b, &objs| {
+                b.iter(|| prepared_ring(4, objs, 11));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! F4 — detection cost on the mutually-linked cycles of Figure 4, and on
+//! chains of K mutually-linked rings (the generalization): fan-out plus
+//! the branch-termination rule keep the message count linear in the
+//! number of distinct references, not exponential in the sharing.
+
+use acdgc_bench::{bench_system, prepared_fig4, run_detection};
+use acdgc_sim::scenarios;
+use acdgc_model::{ProcId, RefId, SimDuration};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+/// K garbage rings over the same processes, cross-linked head-to-head so
+/// each ring's head also references the next ring's head (K-1 extra
+/// dependencies to resolve).
+fn linked_rings(k: usize, procs: usize, seed: u64) -> (acdgc_sim::System, ProcId, RefId) {
+    let mut sys = bench_system(procs, seed);
+    let ids: Vec<ProcId> = (0..procs as u16).map(ProcId).collect();
+    let rings: Vec<scenarios::Ring> = (0..k)
+        .map(|_| scenarios::ring(&mut sys, &ids, 1, false))
+        .collect();
+    for pair in rings.windows(2) {
+        // Link head of ring i to head of ring i+1 (same process, local).
+        sys.add_local_ref(pair[0].heads[0], pair[1].heads[0]).unwrap();
+    }
+    sys.advance(SimDuration::from_millis(1));
+    for p in 0..procs {
+        sys.take_snapshot(ProcId(p as u16));
+    }
+    (sys, ProcId(0), rings[0].refs[0])
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_mutual");
+    group.sample_size(20);
+    group.bench_function("paper_fig4_detect", |b| {
+        b.iter_batched(
+            || prepared_fig4(13),
+            |(mut sys, proc, scion)| {
+                assert!(run_detection(&mut sys, proc, scion) >= 1);
+                sys
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    for &k in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("linked_rings_detect", k),
+            &k,
+            |b, &k| {
+                b.iter_batched(
+                    || linked_rings(k, 4, 29),
+                    |(mut sys, proc, scion)| {
+                        run_detection(&mut sys, proc, scion);
+                        sys
+                    },
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

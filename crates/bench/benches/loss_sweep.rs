@@ -1,0 +1,44 @@
+//! A3 — message-loss sweep: wall time for the periodic stack to reclaim a
+//! Figure-3 cycle under increasing GC-message drop rates. Loss never
+//! breaks collection; it only stretches the time to reclamation (more
+//! rounds of regenerated protocol traffic).
+
+use acdgc_sim::{scenarios, System};
+use acdgc_model::{GcConfig, NetConfig, SimDuration};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn collect_under_loss(drop: f64, seed: u64) -> u64 {
+    let mut sys = System::new(4, GcConfig::default(), NetConfig::lossy(drop), seed);
+    sys.check_safety = false;
+    let fig = scenarios::fig3(&mut sys);
+    sys.remove_root(fig.a).unwrap();
+    let mut waited = 0u64;
+    while sys.total_live_objects() > 0 && waited < 120_000 {
+        sys.run_for(SimDuration::from_millis(500));
+        waited += 500;
+    }
+    assert_eq!(sys.total_live_objects(), 0, "drop={drop}");
+    waited
+}
+
+fn bench_loss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("loss_sweep");
+    group.sample_size(10);
+    for &drop in &[0.0f64, 0.1, 0.3, 0.5] {
+        group.bench_with_input(
+            BenchmarkId::new("collect_fig3", format!("drop{:02}", (drop * 100.0) as u32)),
+            &drop,
+            |b, &drop| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    collect_under_loss(drop, seed)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_loss);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! SC1 — scalability of one detection with the number of processes the
+//! cycle spans: the CDM walk is one message per inter-process reference,
+//! so cost grows linearly with span and involves *only* the spanned
+//! processes (no global phase).
+
+use acdgc_bench::{prepared_ring, run_detection};
+use acdgc_model::ProcId;
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability_span");
+    group.sample_size(10);
+    for &span in &[2usize, 4, 8, 16, 32, 64] {
+        group.bench_with_input(BenchmarkId::new("detect", span), &span, |b, &span| {
+            b.iter_batched(
+                || prepared_ring(span, 1, 53),
+                |(mut sys, scion)| {
+                    assert_eq!(run_detection(&mut sys, ProcId(0), scion), 1);
+                    sys
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    // Uninvolved processes do no work: detection over a 4-ring embedded in
+    // a much larger system costs the same walk.
+    for &total in &[4usize, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("detect_ring4_in_system_of", total),
+            &total,
+            |b, &total| {
+                b.iter_batched(
+                    || {
+                        let mut sys = acdgc_bench::bench_system(total, 53);
+                        let ids: Vec<ProcId> = (0..4).map(ProcId).collect();
+                        let ring = acdgc_sim::scenarios::ring(&mut sys, &ids, 1, false);
+                        sys.advance(acdgc_model::SimDuration::from_millis(1));
+                        for p in 0..4u16 {
+                            sys.take_snapshot(ProcId(p));
+                        }
+                        (sys, ring.refs[0])
+                    },
+                    |(mut sys, scion)| {
+                        assert_eq!(run_detection(&mut sys, ProcId(0), scion), 1);
+                        sys
+                    },
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

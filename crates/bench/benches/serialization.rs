@@ -1,0 +1,58 @@
+//! S1 — the §4 serialization experiment: 10 000 linked dummy objects,
+//! with and without one remote reference per object, encoded by the
+//! Rotor-like [`VerboseCodec`] and the production-like [`CompactCodec`].
+//!
+//! Paper shape to reproduce: the verbose path is orders of magnitude
+//! slower than the compact one (26 037 ms vs 250–350 ms ≈ 100×), and
+//! adding 10 000 stubs costs the verbose path ~+73% while "serializing a
+//! remote reference is faster than serializing an additional dummy
+//! object".
+
+use acdgc_bench::serialization_heap;
+use acdgc_snapshot::{capture, CompactCodec, SnapshotCodec, VerboseCodec};
+use acdgc_model::SimTime;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const N: usize = 10_000;
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serialization_encode");
+    group.sample_size(10);
+    for &with_stubs in &[false, true] {
+        let (heap, tables) = serialization_heap(N, with_stubs);
+        let snap = capture(&heap, &tables, SimTime(0));
+        let label = if with_stubs { "10k_objs_10k_stubs" } else { "10k_objs" };
+        group.throughput(Throughput::Elements(N as u64));
+        group.bench_with_input(
+            BenchmarkId::new("verbose_rotor_like", label),
+            &snap,
+            |b, snap| b.iter(|| black_box(VerboseCodec.encode(snap))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("compact_production_like", label),
+            &snap,
+            |b, snap| b.iter(|| black_box(CompactCodec.encode(snap))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serialization_decode");
+    group.sample_size(10);
+    let (heap, tables) = serialization_heap(N, true);
+    let snap = capture(&heap, &tables, SimTime(0));
+    let verbose = VerboseCodec.encode(&snap);
+    let compact = CompactCodec.encode(&snap);
+    group.bench_function("verbose_rotor_like", |b| {
+        b.iter(|| black_box(VerboseCodec.decode(&verbose).unwrap()))
+    });
+    group.bench_function("compact_production_like", |b| {
+        b.iter(|| black_box(CompactCodec.decode(&compact).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Graph summarization cost (§3 "Graph Summarization" / §4): transforming
+//! a process snapshot into the scion/stub association form, as a function
+//! of object count and of scion count (the per-scion BFS dominates).
+
+use acdgc_bench::serialization_heap;
+use acdgc_heap::{Heap, HeapRef};
+use acdgc_remoting::RemotingTables;
+use acdgc_snapshot::{summarize, IncrementalSummarizer};
+use acdgc_model::{ObjId, ProcId, RefId, SimTime};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// A heap with `n` objects in `s` scion-rooted chains, each chain ending
+/// in a stub: summarization does `s` BFS passes of `n/s` objects.
+fn scion_heavy_heap(n: usize, s: usize) -> (Heap, RemotingTables) {
+    let proc = ProcId(0);
+    let mut heap = Heap::new(proc);
+    let mut tables = RemotingTables::new(proc);
+    let per_chain = (n / s).max(1);
+    for chain in 0..s {
+        let ids: Vec<ObjId> = (0..per_chain).map(|_| heap.alloc(1)).collect();
+        for pair in ids.windows(2) {
+            heap.add_ref(pair[0], HeapRef::Local(pair[1].slot)).unwrap();
+        }
+        let scion_ref = RefId(chain as u64);
+        let stub_ref = RefId((s + chain) as u64);
+        tables.add_scion(scion_ref, ids[0], ProcId(1), SimTime(0));
+        tables.add_stub(stub_ref, ObjId::new(ProcId(1), chain as u32, 0), SimTime(0));
+        heap.add_ref(*ids.last().unwrap(), HeapRef::Remote(stub_ref))
+            .unwrap();
+    }
+    (heap, tables)
+}
+
+fn bench_summarize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("summarization");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        let (heap, tables) = serialization_heap(n, true);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::new("chain_with_stubs", n),
+            &n,
+            |b, _| b.iter(|| black_box(summarize(&heap, &tables, 1, SimTime(0)))),
+        );
+    }
+    for &scions in &[1usize, 10, 100] {
+        let (heap, tables) = scion_heavy_heap(10_000, scions);
+        group.bench_with_input(
+            BenchmarkId::new("10k_objs_by_scion_count", scions),
+            &scions,
+            |b, _| b.iter(|| black_box(summarize(&heap, &tables, 1, SimTime(0)))),
+        );
+    }
+    // The lazy/incremental regime of §4: re-summarizing after a quiet
+    // period (only invocation counters moved) skips every per-scion BFS.
+    for &scions in &[10usize, 100] {
+        let (heap, tables) = scion_heavy_heap(10_000, scions);
+        let mut inc = IncrementalSummarizer::new(ProcId(0));
+        inc.summarize(&heap, &tables, 1, SimTime(0));
+        let mut version = 1;
+        group.bench_with_input(
+            BenchmarkId::new("incremental_quiet_resummarize", scions),
+            &scions,
+            |b, _| {
+                b.iter(|| {
+                    version += 1;
+                    black_box(inc.summarize(&heap, &tables, version, SimTime(version)))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_summarize);
+criterion_main!(benches);

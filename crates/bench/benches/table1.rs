@@ -1,0 +1,36 @@
+//! T1 — Table 1: RMI cost in "original Rotor" vs "Rotor with DGC".
+//!
+//! N remote invocations, each exporting 10 references, client and server
+//! co-located (no network delay masks the bookkeeping). The DGC-extended
+//! variant pays stub/scion creation plus invocation-counter maintenance;
+//! the paper measured 7–21% overhead and this bench reproduces the shape
+//! (single-digit to low-double-digit percentage).
+
+use acdgc_bench::run_table1_workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_rmi");
+    group.sample_size(10);
+    for &calls in &[10usize, 100, 500, 1000] {
+        group.bench_with_input(
+            BenchmarkId::new("rotor_plain", calls),
+            &calls,
+            |b, &calls| {
+                b.iter(|| black_box(run_table1_workload(calls, 10, false, 7)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rotor_with_dgc", calls),
+            &calls,
+            |b, &calls| {
+                b.iter(|| black_box(run_table1_workload(calls, 10, true, 7)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

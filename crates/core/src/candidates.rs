@@ -1,0 +1,174 @@
+//! Cycle-candidate selection.
+//!
+//! §2.1: "If this object is not invoked for a certain amount of time we can
+//! make a guess that this object is, in fact, part of a distributed cycle
+//! of garbage." The paper leaves heuristics to the literature; this module
+//! implements the age heuristic it sketches, plus per-scion backoff so a
+//! failed detection is not immediately retried.
+
+use acdgc_model::{GcConfig, RefId, SimTime};
+use acdgc_snapshot::SummarizedGraph;
+use rustc_hash::FxHashMap;
+
+/// Per-process memory of recent detection attempts. This is heuristic
+/// state only — it influences *when* detections start, never their safety.
+#[derive(Clone, Debug, Default)]
+pub struct CandidateState {
+    last_attempt: FxHashMap<RefId, SimTime>,
+}
+
+impl CandidateState {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forget attempts for scions no longer present (bounds memory).
+    pub fn retain_known(&mut self, summary: &SummarizedGraph) {
+        self.last_attempt.retain(|r, _| summary.scion(*r).is_some());
+    }
+
+    /// Number of scions currently under backoff bookkeeping.
+    pub fn tracked(&self) -> usize {
+        self.last_attempt.len()
+    }
+}
+
+/// Pick scions worth starting a detection from, most-stale first:
+///
+/// * not locally reachable (a reachable target is trivially live),
+/// * at least one stub transitively reachable (a distributed cycle needs an
+///   outgoing path),
+/// * not invoked for `candidate_age`,
+/// * not attempted within `candidate_backoff`,
+/// * at most `max_candidates_per_scan`.
+pub fn select_candidates(
+    summary: &SummarizedGraph,
+    state: &mut CandidateState,
+    now: SimTime,
+    cfg: &GcConfig,
+) -> Vec<RefId> {
+    let mut eligible: Vec<(&SimTime, RefId)> = Vec::new();
+    for scion in summary.scions.values() {
+        if scion.target_locally_reachable {
+            continue;
+        }
+        if scion.stubs_from.is_empty() {
+            continue;
+        }
+        if now.since(scion.last_invoked) < cfg.candidate_age {
+            continue;
+        }
+        if let Some(last) = state.last_attempt.get(&scion.ref_id) {
+            if now.since(*last) < cfg.candidate_backoff {
+                continue;
+            }
+        }
+        eligible.push((&scion.last_invoked, scion.ref_id));
+    }
+    // Most-stale first; RefId tiebreak for determinism.
+    eligible.sort_unstable_by_key(|(t, r)| (**t, *r));
+    eligible.truncate(cfg.max_candidates_per_scan);
+    let picked: Vec<RefId> = eligible.into_iter().map(|(_, r)| r).collect();
+    for &r in &picked {
+        state.last_attempt.insert(r, now);
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acdgc_model::{ProcId, SimDuration};
+    use acdgc_snapshot::ScionSummary;
+
+    fn summary_with(scions: Vec<(u64, bool, usize, u64)>) -> SummarizedGraph {
+        // (ref, locally_reachable, stub_count, last_invoked_ticks)
+        let mut s = SummarizedGraph::empty(ProcId(0));
+        for (r, local, stubs, last) in scions {
+            s.scions.insert(
+                RefId(r),
+                ScionSummary {
+                    ref_id: RefId(r),
+                    from_proc: ProcId(1),
+                    ic: 0,
+                    stubs_from: (100..100 + stubs as u64).map(RefId).collect(),
+                    target_locally_reachable: local,
+                    last_invoked: SimTime(last),
+                    incarnation: 0,
+                },
+            );
+        }
+        s
+    }
+
+    fn cfg() -> GcConfig {
+        GcConfig {
+            candidate_age: SimDuration(100),
+            candidate_backoff: SimDuration(500),
+            max_candidates_per_scan: 2,
+            ..GcConfig::default()
+        }
+    }
+
+    #[test]
+    fn filters_reachable_and_stubless() {
+        let s = summary_with(vec![
+            (1, true, 1, 0),  // locally reachable: out
+            (2, false, 0, 0), // no stubs: out
+            (3, false, 1, 0), // eligible
+        ]);
+        let mut state = CandidateState::new();
+        let picked = select_candidates(&s, &mut state, SimTime(1_000), &cfg());
+        assert_eq!(picked, vec![RefId(3)]);
+    }
+
+    #[test]
+    fn age_threshold_applies() {
+        let s = summary_with(vec![(1, false, 1, 950), (2, false, 1, 100)]);
+        let mut state = CandidateState::new();
+        let picked = select_candidates(&s, &mut state, SimTime(1_000), &cfg());
+        assert_eq!(picked, vec![RefId(2)], "recently invoked scion skipped");
+    }
+
+    #[test]
+    fn backoff_suppresses_retry_then_allows() {
+        let s = summary_with(vec![(1, false, 1, 0)]);
+        let mut state = CandidateState::new();
+        assert_eq!(
+            select_candidates(&s, &mut state, SimTime(1_000), &cfg()),
+            vec![RefId(1)]
+        );
+        assert!(
+            select_candidates(&s, &mut state, SimTime(1_100), &cfg()).is_empty(),
+            "within backoff"
+        );
+        assert_eq!(
+            select_candidates(&s, &mut state, SimTime(1_600), &cfg()),
+            vec![RefId(1)],
+            "after backoff"
+        );
+    }
+
+    #[test]
+    fn scan_cap_and_staleness_order() {
+        let s = summary_with(vec![
+            (1, false, 1, 300),
+            (2, false, 1, 100),
+            (3, false, 1, 200),
+        ]);
+        let mut state = CandidateState::new();
+        let picked = select_candidates(&s, &mut state, SimTime(10_000), &cfg());
+        assert_eq!(picked, vec![RefId(2), RefId(3)], "two most stale");
+    }
+
+    #[test]
+    fn retain_known_drops_dead_scions() {
+        let s = summary_with(vec![(1, false, 1, 0)]);
+        let mut state = CandidateState::new();
+        select_candidates(&s, &mut state, SimTime(1_000), &cfg());
+        assert_eq!(state.tracked(), 1);
+        let empty = SummarizedGraph::empty(ProcId(0));
+        state.retain_known(&empty);
+        assert_eq!(state.tracked(), 0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Object records and reference fields.
+
+use acdgc_model::{RefId, Slot};
+
+/// One reference field of an object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HeapRef {
+    /// Reference to another object in the same heap.
+    Local(Slot),
+    /// Reference to an object in another process, held through the stub
+    /// identified by this [`RefId`]. The stub itself (target process and
+    /// object, invocation counter) lives in the remoting layer.
+    Remote(RefId),
+}
+
+impl HeapRef {
+    pub fn as_local(self) -> Option<Slot> {
+        match self {
+            HeapRef::Local(s) => Some(s),
+            HeapRef::Remote(_) => None,
+        }
+    }
+
+    pub fn as_remote(self) -> Option<RefId> {
+        match self {
+            HeapRef::Remote(r) => Some(r),
+            HeapRef::Local(_) => None,
+        }
+    }
+}
+
+/// An allocated object: its outgoing reference fields plus a simulated
+/// payload size, used by the snapshot codecs to model serialization cost
+/// (the paper's "dummy objects just holding a reference" have
+/// `payload_words == 1`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObjectRecord {
+    /// Generation of the slot at allocation time; detects stale `ObjId`s.
+    pub generation: u32,
+    /// Outgoing references. Duplicates are allowed (an object may hold the
+    /// same reference in several fields); removal drops one occurrence.
+    pub refs: Vec<HeapRef>,
+    /// Simulated payload size in 8-byte words.
+    pub payload_words: u32,
+}
+
+impl ObjectRecord {
+    pub fn new(generation: u32, payload_words: u32) -> Self {
+        ObjectRecord {
+            generation,
+            refs: Vec::new(),
+            payload_words,
+        }
+    }
+
+    /// Iterate the remote references held by this object.
+    pub fn remote_refs(&self) -> impl Iterator<Item = RefId> + '_ {
+        self.refs.iter().filter_map(|r| r.as_remote())
+    }
+
+    /// Iterate the local references held by this object.
+    pub fn local_refs(&self) -> impl Iterator<Item = Slot> + '_ {
+        self.refs.iter().filter_map(|r| r.as_local())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ref_projections() {
+        assert_eq!(HeapRef::Local(3).as_local(), Some(3));
+        assert_eq!(HeapRef::Local(3).as_remote(), None);
+        assert_eq!(HeapRef::Remote(RefId(9)).as_remote(), Some(RefId(9)));
+        assert_eq!(HeapRef::Remote(RefId(9)).as_local(), None);
+    }
+
+    #[test]
+    fn record_ref_iterators() {
+        let mut rec = ObjectRecord::new(0, 1);
+        rec.refs.push(HeapRef::Local(1));
+        rec.refs.push(HeapRef::Remote(RefId(5)));
+        rec.refs.push(HeapRef::Local(2));
+        assert_eq!(rec.local_refs().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(rec.remote_refs().collect::<Vec<_>>(), vec![RefId(5)]);
+    }
+}

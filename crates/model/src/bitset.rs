@@ -1,0 +1,171 @@
+//! A dense, growable bitset.
+//!
+//! Used by the tracing collectors (mark bits over heap slots) and the
+//! summarizer. Kept local rather than pulling in a crate: the operations we
+//! need are tiny and hot, and slot indices are dense by construction.
+
+/// Dense bitset over `usize` indices.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Empty set able to hold indices `0..capacity` without reallocation.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            len: capacity,
+        }
+    }
+
+    /// Number of indices addressable without growth.
+    pub fn capacity(&self) -> usize {
+        self.words.len() * 64
+    }
+
+    #[inline]
+    fn ensure(&mut self, index: usize) {
+        let word = index / 64;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        if index >= self.len {
+            self.len = index + 1;
+        }
+    }
+
+    /// Insert `index`; returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, index: usize) -> bool {
+        self.ensure(index);
+        let (w, b) = (index / 64, index % 64);
+        let mask = 1u64 << b;
+        let fresh = self.words[w] & mask == 0;
+        self.words[w] |= mask;
+        fresh
+    }
+
+    /// Remove `index`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, index: usize) -> bool {
+        let (w, b) = (index / 64, index % 64);
+        if w >= self.words.len() {
+            return false;
+        }
+        let mask = 1u64 << b;
+        let present = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        present
+    }
+
+    #[inline]
+    pub fn contains(&self, index: usize) -> bool {
+        let (w, b) = (index / 64, index % 64);
+        w < self.words.len() && self.words[w] & (1 << b) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Clear all bits, keeping the allocation (workhorse reuse).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Iterate set indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            BitIter { word, base: wi * 64 }
+        })
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let mut set = BitSet::default();
+        for i in iter {
+            set.insert(i);
+        }
+        set
+    }
+}
+
+struct BitIter {
+    word: u64,
+    base: usize,
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(self.base + tz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::default();
+        assert!(s.insert(3));
+        assert!(!s.insert(3), "second insert reports already-present");
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn grows_on_demand() {
+        let mut s = BitSet::with_capacity(10);
+        assert!(s.insert(1000));
+        assert!(s.contains(1000));
+        assert!(!s.contains(999));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let indices = [0usize, 1, 63, 64, 65, 127, 128, 500];
+        let s: BitSet = indices.iter().copied().collect();
+        let collected: Vec<usize> = s.iter().collect();
+        assert_eq!(collected, indices);
+        assert_eq!(s.count(), indices.len());
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut s = BitSet::with_capacity(256);
+        let cap = s.capacity();
+        for i in 0..256 {
+            s.insert(i);
+        }
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), cap);
+    }
+
+    #[test]
+    fn remove_out_of_range_is_noop() {
+        let mut s = BitSet::default();
+        assert!(!s.remove(10_000));
+    }
+}

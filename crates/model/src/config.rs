@@ -1,0 +1,210 @@
+//! Configuration for the collector stack and the simulated network.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// How the reference-listing layer learns that a stub has died.
+///
+/// The paper has two implementations that differ exactly here:
+/// the Rotor build integrates with the VM's collector, while the OBIWAN
+/// build runs at user level and monitors transparent proxies through weak
+/// references (§4, "a running thread that monitors existing stubs").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IntegrationMode {
+    /// The LGC reports the live stub set directly at the end of each
+    /// collection (Rotor-style, in-VM).
+    VmIntegrated,
+    /// Dead stubs linger until a separate monitor pass observes that their
+    /// weak proxy handle was cleared (OBIWAN-style, user-level). Adds
+    /// latency between an LGC and the corresponding `NewSetStubs`.
+    WeakRefMonitor,
+}
+
+/// Collector tuning knobs. Defaults model the paper's lazy, low-disruption
+/// regime; ablation experiments flip the named switches.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GcConfig {
+    /// Period between local garbage collections of a process.
+    pub lgc_period: SimDuration,
+    /// Period between snapshot + summarization passes of a process.
+    pub snapshot_period: SimDuration,
+    /// Period between cycle-candidate scans of a process.
+    pub scan_period: SimDuration,
+    /// Extra delay between an LGC and stub-death visibility in
+    /// [`IntegrationMode::WeakRefMonitor`] mode.
+    pub monitor_period: SimDuration,
+    /// A scion is a cycle candidate only if it has not been invoked for at
+    /// least this long (§2.1: "not invoked for a certain amount of time").
+    pub candidate_age: SimDuration,
+    /// Do not re-initiate detection from the same scion more often than
+    /// this.
+    pub candidate_backoff: SimDuration,
+    /// Maximum number of detections initiated per scan.
+    pub max_candidates_per_scan: usize,
+    /// How stub liveness reaches the reference-listing layer.
+    pub integration: IntegrationMode,
+    /// Safety barrier of §3.2: abort a detection when matching finds the
+    /// same reference with different invocation counters. Disabling this is
+    /// UNSAFE and exists only for ablation A1.
+    pub ic_barrier: bool,
+    /// Optimization from §3.2.1: also compare the stub-side counter carried
+    /// by the CDM against the local scion counter at delivery time, instead
+    /// of waiting for matching at the initiator.
+    pub ic_check_on_delivery: bool,
+    /// Termination rule of §3.1 step 15: stop forwarding a CDM derivation
+    /// that brings no new information. Disabling this is for ablation A2
+    /// (the hop cap then bounds the walk).
+    pub branch_termination: bool,
+    /// Relaxation of the step 15 rule: a derivation may make up to this
+    /// many *consecutive* non-growing hops before it is terminated. The
+    /// strict paper rule (slack 0) is provably incomplete on garbage with
+    /// densely shared converging paths: full cancellation needs a single
+    /// walk covering every reference, and such a walk may have to re-cross
+    /// already-traversed references to reach untraversed ones (found by
+    /// the exhaustive model checker in `tests/model_check.rs`). Growth
+    /// still bounds total progress, so termination is preserved:
+    /// every surviving branch alternates ≤`slack` non-growing hops with a
+    /// strictly-growing one over a finite universe.
+    pub nongrowth_slack: u32,
+    /// Backstop bound on CDM forwarding depth. The algorithm terminates
+    /// without it (the algebra grows monotonically over a finite universe);
+    /// the cap bounds the A2 ablation and pathological configurations.
+    pub max_hops: u32,
+    /// Message budget per detection. A CDM carries its remaining budget;
+    /// fan-out splits it across derivations, so one detection sends at
+    /// most this many CDMs regardless of graph density (dense garbage
+    /// clumps otherwise branch combinatorially). Exhaustion only delays
+    /// reclamation: later rounds retry with fresh budgets while the
+    /// acyclic layer shrinks the clump.
+    pub detection_budget: u32,
+    /// Extension beyond the paper: when a CDM is delivered, combine it
+    /// with the *entire* relevant local snapshot — witness every local
+    /// dependency scion and every stub reachable from any of them in one
+    /// visit — instead of expanding only the delivered scion. The walk
+    /// then needs one visit per involved *process* rather than per
+    /// *reference*, which is what makes densely-linked multi-process
+    /// garbage clumps tractable (per-reference walks branch factorially
+    /// in references; see `examples/web_cache.rs`). Off by default: the
+    /// worked examples of §3/§3.1 assume per-reference expansion.
+    pub eager_combine: bool,
+    /// Create stub/scion pairs for remote invocations' exported references
+    /// (the paper's DGC-extended remoting). Disabled only by the Table 1
+    /// baseline ("original Rotor") measurement.
+    pub instrument_remoting: bool,
+}
+
+impl Default for GcConfig {
+    fn default() -> Self {
+        GcConfig {
+            lgc_period: SimDuration::from_millis(50),
+            snapshot_period: SimDuration::from_millis(100),
+            scan_period: SimDuration::from_millis(100),
+            monitor_period: SimDuration::from_millis(20),
+            candidate_age: SimDuration::from_millis(150),
+            candidate_backoff: SimDuration::from_millis(200),
+            max_candidates_per_scan: 4,
+            integration: IntegrationMode::VmIntegrated,
+            ic_barrier: true,
+            ic_check_on_delivery: true,
+            branch_termination: true,
+            max_hops: 512,
+            detection_budget: 16_384,
+            nongrowth_slack: 8,
+            eager_combine: false,
+            instrument_remoting: true,
+        }
+    }
+}
+
+impl GcConfig {
+    /// Configuration for tests that drive GC phases by hand.
+    pub fn manual() -> Self {
+        GcConfig {
+            lgc_period: SimDuration(u64::MAX / 4),
+            snapshot_period: SimDuration(u64::MAX / 4),
+            scan_period: SimDuration(u64::MAX / 4),
+            candidate_age: SimDuration::ZERO,
+            candidate_backoff: SimDuration::ZERO,
+            ..GcConfig::default()
+        }
+    }
+}
+
+/// Simulated network behaviour. All randomness is drawn from the seeded
+/// simulation RNG, so a given seed reproduces byte-identical runs.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// Lower bound on one-way delivery latency.
+    pub min_latency: SimDuration,
+    /// Upper bound on one-way delivery latency (uniform in
+    /// `min_latency..=max_latency`). Latency spread is what produces
+    /// reordering.
+    pub max_latency: SimDuration,
+    /// Probability in `[0,1]` that a *GC* message (NewSetStubs, CDM) is
+    /// dropped. Application messages (invocations) are delivered reliably:
+    /// the paper's tolerance claim is about collector traffic.
+    pub gc_drop_probability: f64,
+    /// Probability in `[0,1]` that a GC message is delivered twice.
+    pub gc_duplicate_probability: f64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            min_latency: SimDuration::from_micros(200),
+            max_latency: SimDuration::from_micros(1_500),
+            gc_drop_probability: 0.0,
+            gc_duplicate_probability: 0.0,
+        }
+    }
+}
+
+impl NetConfig {
+    /// A lossy network used by fault-tolerance tests and ablation A3.
+    pub fn lossy(drop_probability: f64) -> Self {
+        NetConfig {
+            gc_drop_probability: drop_probability,
+            ..NetConfig::default()
+        }
+    }
+
+    /// Zero-latency, fully reliable network: useful in unit tests that
+    /// reason about message counts rather than timing.
+    pub fn instant() -> Self {
+        NetConfig {
+            min_latency: SimDuration::ZERO,
+            max_latency: SimDuration::ZERO,
+            gc_drop_probability: 0.0,
+            gc_duplicate_probability: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_safe() {
+        let cfg = GcConfig::default();
+        assert!(cfg.ic_barrier, "IC barrier must default on (safety)");
+        assert!(cfg.branch_termination);
+        assert!(cfg.instrument_remoting);
+        assert!(cfg.max_hops > 0);
+    }
+
+    #[test]
+    fn lossy_network_keeps_latency_defaults() {
+        let cfg = NetConfig::lossy(0.25);
+        assert_eq!(cfg.gc_drop_probability, 0.25);
+        assert_eq!(cfg.min_latency, NetConfig::default().min_latency);
+    }
+
+    #[test]
+    fn instant_network_is_deterministic() {
+        let cfg = NetConfig::instant();
+        assert_eq!(cfg.min_latency, SimDuration::ZERO);
+        assert_eq!(cfg.max_latency, SimDuration::ZERO);
+        assert_eq!(cfg.gc_drop_probability, 0.0);
+    }
+}

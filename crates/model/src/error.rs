@@ -1,0 +1,58 @@
+//! Error types shared across the workspace.
+
+use crate::ids::{ObjId, ProcId, RefId, Slot};
+use std::fmt;
+
+/// Errors raised by the substrate layers (heap, remoting, simulator) when a
+/// caller names an entity that does not exist or violates a structural
+/// invariant. The collector algorithms themselves never return errors: the
+/// paper's safety rules all degrade to "drop the message / abort the
+/// detection".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// Heap slot is unallocated or its generation does not match.
+    DanglingObject(ObjId),
+    /// A slot index is outside the heap.
+    BadSlot(Slot),
+    /// No such process in the system.
+    UnknownProcess(ProcId),
+    /// No stub with this id at the given process.
+    UnknownStub(ProcId, RefId),
+    /// No scion with this id at the given process.
+    UnknownScion(ProcId, RefId),
+    /// Attempted to create a remote reference within a single process.
+    SameProcessRemoteRef(ProcId),
+    /// Attempted to remove a reference that the source object does not hold.
+    MissingReference,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DanglingObject(o) => write!(f, "dangling object handle {o}"),
+            ModelError::BadSlot(s) => write!(f, "slot {s} out of range"),
+            ModelError::UnknownProcess(p) => write!(f, "unknown process {p}"),
+            ModelError::UnknownStub(p, r) => write!(f, "no stub {r} at {p}"),
+            ModelError::UnknownScion(p, r) => write!(f, "no scion {r} at {p}"),
+            ModelError::SameProcessRemoteRef(p) => {
+                write!(f, "remote reference within a single process {p}")
+            }
+            ModelError::MissingReference => write!(f, "reference not held by source object"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::UnknownStub(ProcId(2), RefId(9));
+        assert_eq!(e.to_string(), "no stub r9 at P2");
+        let e = ModelError::DanglingObject(ObjId::new(ProcId(0), 1, 2));
+        assert!(e.to_string().contains("P0#1g2"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Identifiers for processes, objects, remote references and detections.
+//!
+//! The paper names objects by letter and enclosing process (`F_P2`). Here a
+//! process is a [`ProcId`], an object is an [`ObjId`] (process + heap slot)
+//! and a *remote reference* — one stub in the holding process paired with
+//! one scion in the target process — is a [`RefId`]. The CDM algebra of §3
+//! is keyed by `RefId`: a dependency contributed by a scion is resolved only
+//! when that same reference's stub is traversed (see DESIGN.md for why this
+//! is the sound generalization of the paper's object-name shorthand).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identity of a simulated process (the paper's `P1`, `P2`, ...).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct ProcId(pub u16);
+
+impl ProcId {
+    /// Index into dense per-process arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A slot in a process heap. Slots are reused after reclamation; an
+/// [`ObjId`] therefore also carries a generation to catch stale handles.
+pub type Slot = u32;
+
+/// Global name of an object: the owning process plus its heap slot and the
+/// slot's generation at allocation time.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjId {
+    pub proc: ProcId,
+    pub slot: Slot,
+    pub generation: u32,
+}
+
+impl ObjId {
+    pub fn new(proc: ProcId, slot: Slot, generation: u32) -> Self {
+        ObjId {
+            proc,
+            slot,
+            generation,
+        }
+    }
+}
+
+impl fmt::Debug for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}g{}", self.proc, self.slot, self.generation)
+    }
+}
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Identity of one inter-process reference: a stub (outgoing side) and a
+/// scion (incoming side) share the same `RefId`.
+///
+/// `RefId`s are allocated from a single system-wide counter so they are
+/// unique across all processes for the lifetime of a simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RefId(pub u64);
+
+impl fmt::Debug for RefId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for RefId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Identity of one cycle-detection attempt. Only used for tracing and
+/// metrics: the algorithm itself keeps no per-detection state at processes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DetectionId(pub u64);
+
+impl fmt::Debug for DetectionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+impl fmt::Display for DetectionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Monotone allocator for [`RefId`]s / [`DetectionId`]s.
+#[derive(Debug, Default, Clone)]
+pub struct IdAllocator {
+    next_ref: u64,
+    next_detection: u64,
+}
+
+impl IdAllocator {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn next_ref_id(&mut self) -> RefId {
+        let id = RefId(self.next_ref);
+        self.next_ref += 1;
+        id
+    }
+
+    pub fn next_detection_id(&mut self) -> DetectionId {
+        let id = DetectionId(self.next_detection);
+        self.next_detection += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_id_display() {
+        assert_eq!(format!("{}", ProcId(3)), "P3");
+        assert_eq!(format!("{:?}", ProcId(3)), "P3");
+    }
+
+    #[test]
+    fn obj_id_carries_generation() {
+        let a = ObjId::new(ProcId(1), 7, 0);
+        let b = ObjId::new(ProcId(1), 7, 1);
+        assert_ne!(a, b, "same slot, different generation must differ");
+        assert_eq!(format!("{a}"), "P1#7g0");
+    }
+
+    #[test]
+    fn id_allocator_is_monotone_and_distinct() {
+        let mut alloc = IdAllocator::new();
+        let r0 = alloc.next_ref_id();
+        let r1 = alloc.next_ref_id();
+        let d0 = alloc.next_detection_id();
+        let d1 = alloc.next_detection_id();
+        assert!(r0 < r1);
+        assert!(d0 < d1);
+        assert_eq!(r0, RefId(0));
+        assert_eq!(d1, DetectionId(1));
+    }
+
+    #[test]
+    fn ref_id_ordering_matches_counter() {
+        let mut alloc = IdAllocator::new();
+        let ids: Vec<RefId> = (0..100).map(|_| alloc.next_ref_id()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted);
+    }
+}

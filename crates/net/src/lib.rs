@@ -1,0 +1,21 @@
+//! Deterministic discrete-event simulated network.
+//!
+//! The paper's processes communicate over an unreliable transport; the
+//! algorithm is explicitly designed to tolerate message loss (a lost CDM
+//! just kills one detection attempt, a lost `NewSetStubs` delays scion
+//! reclamation). This crate provides the transport as a seeded,
+//! reproducible event queue:
+//!
+//! * uniform latency in a configurable band — the spread is what produces
+//!   reordering, no extra mechanism needed,
+//! * configurable drop and duplication probabilities applied only to
+//!   [`MessageClass::Gc`] traffic (application invocations are modelled as
+//!   reliable RPC: the tolerance claim under test is about collector
+//!   traffic),
+//! * a global min-heap of in-flight envelopes, popped in
+//!   `(deliver_at, sequence)` order so identical seeds replay identical
+//!   schedules.
+
+pub mod network;
+
+pub use network::{Envelope, MessageClass, NetStats, Network, SendOutcome};

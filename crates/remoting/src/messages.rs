@@ -1,0 +1,87 @@
+//! Wire payloads for remote invocations and replies.
+//!
+//! The simulator owns delivery; these types only describe what travels and
+//! how large it is. Reference export follows the paper's remoting
+//! instrumentation: every reference marshalled into an invocation (or
+//! reply) gets a stub/scion pair, so a call with 10 reference arguments
+//! creates 10 scions at the exporters and 10 stubs at the importer — the
+//! Table 1 workload.
+
+use acdgc_model::{ObjId, RefId};
+
+/// A reference marshalled inside an invocation or reply.
+///
+/// The scion protecting `target` was created (and pinned) at `target.proc`
+/// when the message was sent; the receiver creates the stub on import.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExportedRef {
+    pub ref_id: RefId,
+    pub target: ObjId,
+}
+
+/// A remote method invocation through the reference `ref_id`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvokePayload {
+    /// The reference being invoked (stub at the caller, scion at the callee).
+    pub ref_id: RefId,
+    /// References passed as arguments.
+    pub exports: Vec<ExportedRef>,
+    /// Simulated non-reference argument size in bytes.
+    pub arg_bytes: u32,
+    /// Whether the callee should send a reply (replies also bump ICs).
+    pub wants_reply: bool,
+}
+
+impl InvokePayload {
+    pub fn size_bytes(&self) -> usize {
+        32 + self.arg_bytes as usize + 24 * self.exports.len()
+    }
+}
+
+/// The reply to an invocation, travelling callee → caller through the same
+/// reference (and therefore bumping the same invocation counters).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplyPayload {
+    pub ref_id: RefId,
+    /// References returned to the caller.
+    pub exports: Vec<ExportedRef>,
+}
+
+impl ReplyPayload {
+    pub fn size_bytes(&self) -> usize {
+        16 + 24 * self.exports.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acdgc_model::ProcId;
+
+    #[test]
+    fn sizes_scale_with_exports() {
+        let e = ExportedRef {
+            ref_id: RefId(1),
+            target: ObjId::new(ProcId(1), 0, 0),
+        };
+        let small = InvokePayload {
+            ref_id: RefId(0),
+            exports: vec![],
+            arg_bytes: 0,
+            wants_reply: false,
+        };
+        let big = InvokePayload {
+            ref_id: RefId(0),
+            exports: vec![e; 10],
+            arg_bytes: 0,
+            wants_reply: false,
+        };
+        assert!(big.size_bytes() > small.size_bytes());
+        assert_eq!(big.size_bytes() - small.size_bytes(), 240);
+        let reply = ReplyPayload {
+            ref_id: RefId(0),
+            exports: vec![e],
+        };
+        assert_eq!(reply.size_bytes(), 40);
+    }
+}

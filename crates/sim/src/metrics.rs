@@ -1,0 +1,157 @@
+//! System-wide counters: the raw material of every experiment table.
+
+use serde::Serialize;
+
+/// Counters accumulated by a [`crate::System`] run. All monotone; snapshot
+/// and subtract to measure a window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct Metrics {
+    // Mutator.
+    pub invocations: u64,
+    pub replies: u64,
+    pub refs_exported: u64,
+
+    // Local GC.
+    pub lgc_runs: u64,
+    pub objects_reclaimed: u64,
+    pub monitor_passes: u64,
+
+    // Snapshot/summarization.
+    pub snapshots: u64,
+    pub summary_scions: u64,
+    pub summary_stubs: u64,
+
+    // Acyclic DGC.
+    pub nss_sent: u64,
+    pub nss_applied: u64,
+    pub nss_stale: u64,
+    pub scions_reclaimed_acyclic: u64,
+
+    // Cycle detection.
+    pub detections_started: u64,
+    pub cdms_sent: u64,
+    pub cdms_delivered: u64,
+    pub cycles_detected: u64,
+    pub scions_deleted_by_dcda: u64,
+    pub detections_dropped_no_scion: u64,
+    pub detections_aborted_ic: u64,
+    pub detections_dropped_hops: u64,
+    pub detections_terminated_no_stubs: u64,
+    pub detections_terminated_local: u64,
+    pub detections_terminated_no_new_info: u64,
+    /// Detections stopped by the per-detection message budget.
+    pub detections_terminated_budget: u64,
+    /// Sibling branches pruned because the outgoing path was locally
+    /// reachable (a live path, §2.1).
+    pub branches_pruned_local: u64,
+    /// Sibling branches stopped by the §3.1 step 15 no-new-information
+    /// rule while other branches kept going.
+    pub branches_no_new_info: u64,
+    pub max_cdm_bytes: u64,
+
+    // Oracle verdicts (safety violations; must stay 0 unless an unsafe
+    // ablation is deliberately enabled).
+    pub unsafe_frees: u64,
+    pub unsafe_scion_deletes: u64,
+    pub invoke_on_missing_scion: u64,
+    pub reply_on_missing_stub: u64,
+}
+
+impl Metrics {
+    /// Difference `self - earlier` for window measurements; saturating so a
+    /// reset never panics.
+    pub fn since(&self, earlier: &Metrics) -> Metrics {
+        macro_rules! diff {
+            ($($f:ident),* $(,)?) => {
+                Metrics { $($f: self.$f.saturating_sub(earlier.$f)),* }
+            };
+        }
+        diff!(
+            invocations,
+            replies,
+            refs_exported,
+            lgc_runs,
+            objects_reclaimed,
+            monitor_passes,
+            snapshots,
+            summary_scions,
+            summary_stubs,
+            nss_sent,
+            nss_applied,
+            nss_stale,
+            scions_reclaimed_acyclic,
+            detections_started,
+            cdms_sent,
+            cdms_delivered,
+            cycles_detected,
+            scions_deleted_by_dcda,
+            detections_dropped_no_scion,
+            detections_aborted_ic,
+            detections_dropped_hops,
+            detections_terminated_no_stubs,
+            detections_terminated_local,
+            detections_terminated_no_new_info,
+            detections_terminated_budget,
+            branches_pruned_local,
+            branches_no_new_info,
+            max_cdm_bytes,
+            unsafe_frees,
+            unsafe_scion_deletes,
+            invoke_on_missing_scion,
+            reply_on_missing_stub,
+        )
+    }
+
+    /// All detection attempts that ended without finding a cycle.
+    pub fn detections_failed(&self) -> u64 {
+        self.detections_dropped_no_scion
+            + self.detections_aborted_ic
+            + self.detections_dropped_hops
+            + self.detections_terminated_no_stubs
+            + self.detections_terminated_local
+            + self.detections_terminated_no_new_info
+            + self.detections_terminated_budget
+    }
+
+    /// Safety violations observed by the oracle.
+    pub fn safety_violations(&self) -> u64 {
+        self.unsafe_frees + self.unsafe_scion_deletes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts_fieldwise() {
+        let mut a = Metrics::default();
+        a.invocations = 10;
+        a.cycles_detected = 3;
+        let mut b = Metrics::default();
+        b.invocations = 4;
+        b.cycles_detected = 1;
+        let d = a.since(&b);
+        assert_eq!(d.invocations, 6);
+        assert_eq!(d.cycles_detected, 2);
+        assert_eq!(d.replies, 0);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = Metrics::default();
+        let mut b = Metrics::default();
+        b.invocations = 5;
+        assert_eq!(a.since(&b).invocations, 0);
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut m = Metrics::default();
+        m.detections_aborted_ic = 2;
+        m.detections_terminated_no_stubs = 3;
+        assert_eq!(m.detections_failed(), 5);
+        m.unsafe_frees = 1;
+        assert_eq!(m.safety_violations(), 1);
+    }
+}

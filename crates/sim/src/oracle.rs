@@ -1,0 +1,156 @@
+//! Global reachability oracle.
+//!
+//! The oracle computes, with perfect knowledge of every heap and table,
+//! the set of objects transitively reachable from *any* local root in the
+//! system, crossing remote references through their stubs. Nothing the
+//! collectors do consults the oracle — it exists to let tests and ablation
+//! experiments judge them:
+//!
+//! * **safety**: a reclaimed object must never be oracle-live at the
+//!   moment of reclamation;
+//! * **completeness**: after mutator quiescence and enough GC rounds,
+//!   every oracle-dead object must be reclaimed — including every
+//!   distributed cycle, which is exactly what acyclic DGC alone cannot do.
+//!
+//! References in flight inside application messages are protected by
+//! scion pins, not by the oracle; an object kept only by an in-flight
+//! message is oracle-dead but never reclaimed, which is the conservative
+//! direction.
+
+use crate::system::System;
+use acdgc_model::{ObjId, ProcId};
+use rustc_hash::FxHashSet;
+
+/// All objects reachable from any local root, across processes.
+pub fn global_live(system: &System) -> FxHashSet<ObjId> {
+    let mut live: FxHashSet<ObjId> = FxHashSet::default();
+    let mut queue: Vec<ObjId> = Vec::new();
+    for proc in system.procs() {
+        for slot in proc.heap.roots() {
+            if let Some(id) = proc.heap.id_of_slot(slot) {
+                if live.insert(id) {
+                    queue.push(id);
+                }
+            }
+        }
+    }
+    while let Some(id) = queue.pop() {
+        let proc = system.proc(id.proc);
+        let Ok(record) = proc.heap.get(id) else {
+            continue;
+        };
+        for slot in record.local_refs() {
+            if let Some(next) = proc.heap.id_of_slot(slot) {
+                if live.insert(next) {
+                    queue.push(next);
+                }
+            }
+        }
+        for ref_id in record.remote_refs() {
+            if let Some(stub) = proc.tables.stub(ref_id) {
+                let target = stub.target;
+                if system.proc(target.proc).heap.contains(target) && live.insert(target) {
+                    queue.push(target);
+                }
+            }
+        }
+    }
+    live
+}
+
+/// Is the remote reference `r`, held from `holder_proc`, still live —
+/// i.e. does any oracle-live object of that process still hold it? A
+/// scion may be deleted exactly when this is false (the reference itself
+/// is garbage), even if the *target* object remains live through other
+/// paths (its own roots or other references).
+pub fn ref_is_live(
+    system: &System,
+    holder_proc: ProcId,
+    r: acdgc_model::RefId,
+    live: &FxHashSet<ObjId>,
+) -> bool {
+    let proc = system.proc(holder_proc);
+    proc.heap.iter().any(|(slot, rec)| {
+        rec.remote_refs().any(|held| held == r)
+            && proc
+                .heap
+                .id_of_slot(slot)
+                .is_some_and(|id| live.contains(&id))
+    })
+}
+
+/// Oracle-live object counts per process (completeness assertions).
+pub fn live_count_by_proc(system: &System) -> Vec<(ProcId, usize)> {
+    let live = global_live(system);
+    let mut counts = vec![0usize; system.num_procs()];
+    for id in &live {
+        counts[id.proc.index()] += 1;
+    }
+    counts
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| (ProcId(i as u16), c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acdgc_model::{GcConfig, NetConfig};
+
+    fn system(n: usize) -> System {
+        System::new(n, GcConfig::manual(), NetConfig::instant(), 7)
+    }
+
+    #[test]
+    fn local_chain_reachability() {
+        let mut sys = system(1);
+        let p = ProcId(0);
+        let a = sys.alloc(p, 1);
+        let b = sys.alloc(p, 1);
+        let orphan = sys.alloc(p, 1);
+        sys.add_local_ref(a, b).unwrap();
+        sys.add_root(a).unwrap();
+        let live = global_live(&sys);
+        assert!(live.contains(&a) && live.contains(&b));
+        assert!(!live.contains(&orphan));
+    }
+
+    #[test]
+    fn crosses_remote_references() {
+        let mut sys = system(2);
+        let a = sys.alloc(ProcId(0), 1);
+        let b = sys.alloc(ProcId(1), 1);
+        let c = sys.alloc(ProcId(1), 1);
+        sys.create_remote_ref(a, b).unwrap();
+        sys.add_local_ref(b, c).unwrap();
+        sys.add_root(a).unwrap();
+        let live = global_live(&sys);
+        assert_eq!(live.len(), 3);
+        assert!(live.contains(&c), "remote hop then local hop");
+    }
+
+    #[test]
+    fn unrooted_distributed_cycle_is_dead() {
+        let mut sys = system(2);
+        let a = sys.alloc(ProcId(0), 1);
+        let b = sys.alloc(ProcId(1), 1);
+        sys.create_remote_ref(a, b).unwrap();
+        sys.create_remote_ref(b, a).unwrap();
+        let live = global_live(&sys);
+        assert!(live.is_empty(), "cycle with no roots is garbage");
+        sys.add_root(a).unwrap();
+        assert_eq!(global_live(&sys).len(), 2, "rooting either end revives both");
+    }
+
+    #[test]
+    fn per_proc_counts() {
+        let mut sys = system(2);
+        let a = sys.alloc(ProcId(0), 1);
+        let b = sys.alloc(ProcId(1), 1);
+        sys.create_remote_ref(a, b).unwrap();
+        sys.add_root(a).unwrap();
+        let counts = live_count_by_proc(&sys);
+        assert_eq!(counts, vec![(ProcId(0), 1), (ProcId(1), 1)]);
+    }
+}

@@ -1,0 +1,97 @@
+//! One simulated process: heap + remoting tables + published summary +
+//! detector heuristic state + GC scheduling.
+
+use acdgc_dcda::CandidateState;
+use acdgc_heap::Heap;
+use acdgc_remoting::RemotingTables;
+use acdgc_snapshot::SummarizedGraph;
+use acdgc_model::{GcConfig, ProcId, SimTime};
+
+/// The state of one process. Mutation flows through [`crate::System`]
+/// (which owns all processes and the network), or through a
+/// [`crate::threaded`] runtime cell.
+#[derive(Clone, Debug)]
+pub struct Process {
+    pub heap: Heap,
+    pub tables: RemotingTables,
+    /// Latest *published* summary — the only view the DCDA may use. Starts
+    /// empty: a process that never summarized never answers CDMs.
+    pub summary: SummarizedGraph,
+    pub candidates: CandidateState,
+    /// Next scheduled phase times (periodic mode).
+    pub next_lgc: SimTime,
+    pub next_snapshot: SimTime,
+    pub next_scan: SimTime,
+    pub next_monitor: SimTime,
+    summary_version: u64,
+}
+
+impl Process {
+    /// Create a process with phase schedules staggered by `proc` index so
+    /// processes do not run in lockstep (the paper's processes are fully
+    /// independent).
+    pub fn new(proc: ProcId, cfg: &GcConfig) -> Self {
+        let stagger = |base: u64| SimTime(base / 7 * (proc.index() as u64 % 7) + 1);
+        Process {
+            heap: Heap::new(proc),
+            tables: RemotingTables::new(proc),
+            summary: SummarizedGraph::empty(proc),
+            candidates: CandidateState::new(),
+            next_lgc: stagger(cfg.lgc_period.as_ticks()),
+            next_snapshot: stagger(cfg.snapshot_period.as_ticks()),
+            next_scan: stagger(cfg.scan_period.as_ticks()),
+            next_monitor: stagger(cfg.monitor_period.as_ticks()),
+            summary_version: 0,
+        }
+    }
+
+    pub fn proc(&self) -> ProcId {
+        self.heap.proc()
+    }
+
+    /// Bump and return the next summary version.
+    pub fn next_summary_version(&mut self) -> u64 {
+        self.summary_version += 1;
+        self.summary_version
+    }
+
+    /// Earliest scheduled phase time for the event loop.
+    pub fn next_task_at(&self) -> SimTime {
+        self.next_lgc
+            .min(self.next_snapshot)
+            .min(self.next_scan)
+            .min(self.next_monitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staggering_differs_across_processes() {
+        let cfg = GcConfig::default();
+        let a = Process::new(ProcId(1), &cfg);
+        let b = Process::new(ProcId(2), &cfg);
+        assert_ne!(a.next_lgc, b.next_lgc);
+    }
+
+    #[test]
+    fn version_monotone() {
+        let cfg = GcConfig::default();
+        let mut p = Process::new(ProcId(0), &cfg);
+        assert_eq!(p.next_summary_version(), 1);
+        assert_eq!(p.next_summary_version(), 2);
+    }
+
+    #[test]
+    fn next_task_is_minimum() {
+        let cfg = GcConfig::default();
+        let mut p = Process::new(ProcId(0), &cfg);
+        p.next_lgc = SimTime(50);
+        p.next_snapshot = SimTime(10);
+        p.next_scan = SimTime(70);
+        p.next_monitor = SimTime(90);
+        assert_eq!(p.next_task_at(), SimTime(10));
+    }
+}

@@ -1,0 +1,516 @@
+//! Executable versions of the paper's figures and parametric topologies.
+//!
+//! Each builder constructs the exact object graph of a figure inside a
+//! [`System`] and returns the handles (objects and reference ids) that the
+//! paper names, so integration tests can assert the worked algebra traces
+//! step by step. The mapping from the paper's object-name terms to our
+//! reference-id terms is one-to-one because every object in the figures
+//! has exactly one incoming remote reference (see DESIGN.md).
+
+use crate::system::System;
+use acdgc_model::{ObjId, ProcId, RefId};
+use rand::Rng;
+
+/// Handles for Figure 3, "A simple distributed garbage cycle".
+///
+/// Cycle: `{F,H,J}_P2 → {Q,R,S}_P4 → {O,M,K}_P3 → {D,C,B}_P1 → F_P2`,
+/// plus `A_P1` which holds the cycle reachable from P1's root until
+/// dropped. Paper-term to reference mapping:
+/// `F_P2 ≙ r_bf`, `Q_P4 ≙ r_jq`, `O_P3 ≙ r_so`, `D_P1 ≙ r_kd`.
+#[derive(Clone, Debug)]
+pub struct Fig3 {
+    pub p1: ProcId,
+    pub p2: ProcId,
+    pub p3: ProcId,
+    pub p4: ProcId,
+    pub a: ObjId,
+    pub f: ObjId,
+    /// `B_P1 → F_P2`: the candidate scion lives at P2.
+    pub r_bf: RefId,
+    /// `J_P2 → Q_P4`.
+    pub r_jq: RefId,
+    /// `S_P4 → O_P3`.
+    pub r_so: RefId,
+    /// `K_P3 → D_P1`.
+    pub r_kd: RefId,
+}
+
+/// Build Figure 3 in processes P0..P3 of `sys` (named P1..P4 in the paper).
+/// `A_P1` is rooted; drop it with [`System::remove_root`] to create the
+/// garbage cycle.
+pub fn fig3(sys: &mut System) -> Fig3 {
+    assert!(sys.num_procs() >= 4);
+    let (p1, p2, p3, p4) = (ProcId(0), ProcId(1), ProcId(2), ProcId(3));
+
+    // P1: A -> D -> C -> B -> (remote F).
+    let a = sys.alloc(p1, 1);
+    let d = sys.alloc(p1, 1);
+    let c = sys.alloc(p1, 1);
+    let b = sys.alloc(p1, 1);
+    sys.add_local_ref(a, d).unwrap();
+    sys.add_local_ref(d, c).unwrap();
+    sys.add_local_ref(c, b).unwrap();
+    sys.add_root(a).unwrap();
+
+    // P2: F -> G, F -> H, G -> H, H -> J, J -> (remote Q).
+    let f = sys.alloc(p2, 1);
+    let g = sys.alloc(p2, 1);
+    let h = sys.alloc(p2, 1);
+    let j = sys.alloc(p2, 1);
+    sys.add_local_ref(f, g).unwrap();
+    sys.add_local_ref(f, h).unwrap();
+    sys.add_local_ref(g, h).unwrap();
+    sys.add_local_ref(h, j).unwrap();
+
+    // P4: Q -> R -> S -> (remote O).
+    let q = sys.alloc(p4, 1);
+    let r = sys.alloc(p4, 1);
+    let s = sys.alloc(p4, 1);
+    sys.add_local_ref(q, r).unwrap();
+    sys.add_local_ref(r, s).unwrap();
+
+    // P3: O -> M -> K -> (remote D).
+    let o = sys.alloc(p3, 1);
+    let m = sys.alloc(p3, 1);
+    let k = sys.alloc(p3, 1);
+    sys.add_local_ref(o, m).unwrap();
+    sys.add_local_ref(m, k).unwrap();
+
+    let r_bf = sys.create_remote_ref(b, f).unwrap();
+    let r_jq = sys.create_remote_ref(j, q).unwrap();
+    let r_so = sys.create_remote_ref(s, o).unwrap();
+    let r_kd = sys.create_remote_ref(k, d).unwrap();
+
+    Fig3 {
+        p1,
+        p2,
+        p3,
+        p4,
+        a,
+        f,
+        r_bf,
+        r_jq,
+        r_so,
+        r_kd,
+    }
+}
+
+/// Handles for Figure 4, "Mutually-linked distributed cycles" (§3.1).
+///
+/// Left cycle: `F_P2 → V_P5 → (W) → T_P4 → D_P1 → F_P2`.
+/// Right cycle: `F_P2 → K_P3 → ZB_P6 → Y_P5 → (W) → T_P4 → D_P1 → F_P2`.
+/// `W` is the P5-local join object through which both `V` and `Y` reach the
+/// single stub to `T_P4` — this reproduces the paper's
+/// `ScionsTo({T_P4}) ⇒ {Y_P5}` extra dependency exactly.
+///
+/// Term mapping: `F ≙ r_df`, `V ≙ r_fv`, `K ≙ r_fk`, `T ≙ r_wt`,
+/// `D ≙ r_td`, `ZB ≙ r_kzb`, `Y ≙ r_zby`.
+#[derive(Clone, Debug)]
+pub struct Fig4 {
+    pub p1: ProcId,
+    pub p2: ProcId,
+    pub p3: ProcId,
+    pub p4: ProcId,
+    pub p5: ProcId,
+    pub p6: ProcId,
+    pub f: ObjId,
+    pub r_df: RefId,
+    pub r_fv: RefId,
+    pub r_fk: RefId,
+    pub r_wt: RefId,
+    pub r_td: RefId,
+    pub r_kzb: RefId,
+    pub r_zby: RefId,
+}
+
+/// Build Figure 4 in processes P0..P5 of `sys` (paper's P1..P6). The whole
+/// structure is garbage from the start (no roots).
+pub fn fig4(sys: &mut System) -> Fig4 {
+    assert!(sys.num_procs() >= 6);
+    let (p1, p2, p3, p4, p5, p6) = (
+        ProcId(0),
+        ProcId(1),
+        ProcId(2),
+        ProcId(3),
+        ProcId(4),
+        ProcId(5),
+    );
+
+    let f = sys.alloc(p2, 1);
+    let v = sys.alloc(p5, 1);
+    let y = sys.alloc(p5, 1);
+    let w = sys.alloc(p5, 1);
+    let t = sys.alloc(p4, 1);
+    let d = sys.alloc(p1, 1);
+    let k = sys.alloc(p3, 1);
+    let zb = sys.alloc(p6, 1);
+
+    sys.add_local_ref(v, w).unwrap();
+    sys.add_local_ref(y, w).unwrap();
+
+    let r_fv = sys.create_remote_ref(f, v).unwrap();
+    let r_fk = sys.create_remote_ref(f, k).unwrap();
+    let r_wt = sys.create_remote_ref(w, t).unwrap();
+    let r_td = sys.create_remote_ref(t, d).unwrap();
+    let r_df = sys.create_remote_ref(d, f).unwrap();
+    let r_kzb = sys.create_remote_ref(k, zb).unwrap();
+    let r_zby = sys.create_remote_ref(zb, y).unwrap();
+
+    Fig4 {
+        p1,
+        p2,
+        p3,
+        p4,
+        p5,
+        p6,
+        f,
+        r_df,
+        r_fv,
+        r_fk,
+        r_wt,
+        r_td,
+        r_kzb,
+        r_zby,
+    }
+}
+
+/// Handles for Figure 1, "Identifying dependencies in cycles": a cycle
+/// `x_P1 → y_P2 → z_P3 → x_P1` plus a *live* extra converging dependency
+/// `w_P4 → x_P1` (w is rooted in its own process P4 — reference-listing
+/// granularity shares pairs per process, so a distinct dependency needs a
+/// distinct holder process).
+#[derive(Clone, Debug)]
+pub struct Fig1 {
+    pub x: ObjId,
+    pub w: ObjId,
+    pub r_xy: RefId,
+    pub r_yz: RefId,
+    pub r_zx: RefId,
+    /// The extra converging dependency the detector must account for.
+    pub r_wx: RefId,
+}
+
+pub fn fig1(sys: &mut System) -> Fig1 {
+    assert!(sys.num_procs() >= 4);
+    let (p1, p2, p3, p4) = (ProcId(0), ProcId(1), ProcId(2), ProcId(3));
+    let x = sys.alloc(p1, 1);
+    let y = sys.alloc(p2, 1);
+    let z = sys.alloc(p3, 1);
+    let w = sys.alloc(p4, 1);
+    sys.add_root(w).unwrap();
+    let r_xy = sys.create_remote_ref(x, y).unwrap();
+    let r_yz = sys.create_remote_ref(y, z).unwrap();
+    let r_zx = sys.create_remote_ref(z, x).unwrap();
+    let r_wx = sys.create_remote_ref(w, x).unwrap();
+    Fig1 {
+        x,
+        w,
+        r_xy,
+        r_yz,
+        r_zx,
+        r_wx,
+    }
+}
+
+/// Handles for Figure 2, "DCDA of independent snapshots": a three-process
+/// cycle `x_P1 → y_P2 → z_P3 → x_P1`, held live by P1's root on `x`.
+/// The mutator race of Fig. 2-b is scripted by the integration test.
+#[derive(Clone, Debug)]
+pub struct Fig2 {
+    pub x: ObjId,
+    pub y: ObjId,
+    pub z: ObjId,
+    pub r_xy: RefId,
+    pub r_yz: RefId,
+    pub r_zx: RefId,
+}
+
+pub fn fig2(sys: &mut System) -> Fig2 {
+    assert!(sys.num_procs() >= 3);
+    let (p1, p2, p3) = (ProcId(0), ProcId(1), ProcId(2));
+    let x = sys.alloc(p1, 1);
+    let y = sys.alloc(p2, 1);
+    let z = sys.alloc(p3, 1);
+    sys.add_root(x).unwrap();
+    let r_xy = sys.create_remote_ref(x, y).unwrap();
+    let r_yz = sys.create_remote_ref(y, z).unwrap();
+    let r_zx = sys.create_remote_ref(z, x).unwrap();
+    Fig2 {
+        x,
+        y,
+        z,
+        r_xy,
+        r_yz,
+        r_zx,
+    }
+}
+
+/// Handles for the §3.2.1 race (Figure 5): a four-process cycle
+/// `B_P1 → F_P2 (→ J_P2) → V_P5 → T_P4 → D_P1(→B)` — paper processes P1,
+/// P2, P5, P4 — held live by P1's root on `B`, plus process P3 holding a
+/// rooted object `M3` that the mutator hands a reference to `J_P2` during
+/// the race (the paper's "reference to J_P2 being exported to P3"). `B`
+/// also holds a reference to `M3` so the invocation chain can run.
+/// Process indices here: P0≙P1, P1≙P2, P2≙P5, P3≙P4, P4≙P3.
+#[derive(Clone, Debug)]
+pub struct Fig5 {
+    pub b: ObjId,
+    pub f: ObjId,
+    /// `J_P2`: downstream of `F` in P2; the object whose reference the
+    /// mutator exports to P3.
+    pub j: ObjId,
+    pub m3: ObjId,
+    /// `F_P2`: the raced reference (stub at P1, scion at P2) whose
+    /// invocation counters go `x → x+1`.
+    pub r_bf: RefId,
+    pub r_jv: RefId,
+    pub r_vt: RefId,
+    pub r_td: RefId,
+    /// `B_P1 → M3_P3`: the mutator's channel to P3.
+    pub r_bm3: RefId,
+}
+
+pub fn fig5(sys: &mut System) -> Fig5 {
+    assert!(sys.num_procs() >= 5);
+    let (p1, p2, p5, p4, p3) = (ProcId(0), ProcId(1), ProcId(2), ProcId(3), ProcId(4));
+    // P1: root -> B -> (remote F); D (cycle tail) -> B locally.
+    let b = sys.alloc(p1, 1);
+    let d = sys.alloc(p1, 1);
+    sys.add_local_ref(d, b).unwrap();
+    sys.add_root(b).unwrap();
+    // P2: F -> J; P5: V; P4: T.
+    let f = sys.alloc(p2, 1);
+    let j = sys.alloc(p2, 1);
+    sys.add_local_ref(f, j).unwrap();
+    let v = sys.alloc(p5, 1);
+    let t = sys.alloc(p4, 1);
+    // P3: a rooted receiver object the mutator will hand the cycle to.
+    let m3 = sys.alloc(p3, 1);
+    sys.add_root(m3).unwrap();
+
+    let r_bf = sys.create_remote_ref(b, f).unwrap();
+    let r_jv = sys.create_remote_ref(j, v).unwrap();
+    let r_vt = sys.create_remote_ref(v, t).unwrap();
+    let r_td = sys.create_remote_ref(t, d).unwrap();
+    let r_bm3 = sys.create_remote_ref(b, m3).unwrap();
+    Fig5 {
+        b,
+        f,
+        j,
+        m3,
+        r_bf,
+        r_jv,
+        r_vt,
+        r_td,
+        r_bm3,
+    }
+}
+
+/// A distributed garbage ring spanning `procs`, with `objs_per_proc` chained
+/// objects in each process. Returns the inter-process references in ring
+/// order; `refs[0]` is the incoming reference of the first process's chain
+/// head (a natural detection candidate).
+#[derive(Clone, Debug)]
+pub struct Ring {
+    pub heads: Vec<ObjId>,
+    pub refs: Vec<RefId>,
+    /// Rooted anchor holding the ring alive, if requested.
+    pub anchor: Option<ObjId>,
+}
+
+/// Build a ring across the given processes. With `anchored`, a rooted
+/// anchor object in `procs[0]` references the ring head; drop its root to
+/// turn the whole ring into garbage.
+pub fn ring(sys: &mut System, procs: &[ProcId], objs_per_proc: usize, anchored: bool) -> Ring {
+    assert!(procs.len() >= 2 && objs_per_proc >= 1);
+    let mut heads = Vec::with_capacity(procs.len());
+    let mut tails = Vec::with_capacity(procs.len());
+    for &p in procs {
+        let chain: Vec<ObjId> = (0..objs_per_proc).map(|_| sys.alloc(p, 1)).collect();
+        for pair in chain.windows(2) {
+            sys.add_local_ref(pair[0], pair[1]).unwrap();
+        }
+        heads.push(chain[0]);
+        tails.push(*chain.last().unwrap());
+    }
+    let n = procs.len();
+    let mut refs = Vec::with_capacity(n);
+    // refs[i] = tail of proc i-1 -> head of proc i (ring order).
+    for i in 0..n {
+        let from = tails[(i + n - 1) % n];
+        let to = heads[i];
+        refs.push(sys.create_remote_ref(from, to).unwrap());
+    }
+    let anchor = anchored.then(|| {
+        let a = sys.alloc(procs[0], 1);
+        sys.add_local_ref(a, heads[0]).unwrap();
+        sys.add_root(a).unwrap();
+        a
+    });
+    Ring {
+        heads,
+        refs,
+        anchor,
+    }
+}
+
+/// Parameters for [`random_graph`].
+#[derive(Clone, Debug)]
+pub struct RandomGraphParams {
+    pub objects_per_proc: usize,
+    /// Local edges per object (expected).
+    pub local_degree: f64,
+    /// Remote edges per object (expected).
+    pub remote_degree: f64,
+    /// Probability an object is rooted.
+    pub root_probability: f64,
+}
+
+impl Default for RandomGraphParams {
+    fn default() -> Self {
+        RandomGraphParams {
+            objects_per_proc: 20,
+            local_degree: 1.5,
+            remote_degree: 0.5,
+            root_probability: 0.1,
+        }
+    }
+}
+
+/// Populate `sys` with a random distributed object graph. Returns all
+/// allocated objects. Used by property tests and churn workloads; cycles
+/// (local, distributed, overlapping) arise naturally from random edges.
+pub fn random_graph(
+    sys: &mut System,
+    rng: &mut impl Rng,
+    params: &RandomGraphParams,
+) -> Vec<ObjId> {
+    let n = sys.num_procs();
+    let mut all: Vec<ObjId> = Vec::new();
+    for p in 0..n {
+        for _ in 0..params.objects_per_proc {
+            let obj = sys.alloc(ProcId(p as u16), rng.gen_range(1..4));
+            if rng.gen_bool(params.root_probability) {
+                sys.add_root(obj).unwrap();
+            }
+            all.push(obj);
+        }
+    }
+    let total = all.len();
+    let local_edges = (params.local_degree * total as f64) as usize;
+    let remote_edges = (params.remote_degree * total as f64) as usize;
+    for _ in 0..local_edges {
+        let from = all[rng.gen_range(0..total)];
+        // Pick a target in the same process.
+        let candidates: Vec<ObjId> = all
+            .iter()
+            .copied()
+            .filter(|o| o.proc == from.proc)
+            .collect();
+        let to = candidates[rng.gen_range(0..candidates.len())];
+        sys.add_local_ref(from, to).unwrap();
+    }
+    for _ in 0..remote_edges {
+        let from = all[rng.gen_range(0..total)];
+        let candidates: Vec<ObjId> = all
+            .iter()
+            .copied()
+            .filter(|o| o.proc != from.proc)
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+        let to = candidates[rng.gen_range(0..candidates.len())];
+        sys.create_remote_ref(from, to).unwrap();
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acdgc_model::{GcConfig, NetConfig};
+
+    fn system(n: usize) -> System {
+        System::new(n, GcConfig::manual(), NetConfig::instant(), 3)
+    }
+
+    #[test]
+    fn fig3_topology_shape() {
+        let mut sys = system(4);
+        let fig = fig3(&mut sys);
+        sys.check_invariants().unwrap();
+        // While A is rooted, all 14 objects are live.
+        assert_eq!(sys.oracle_live().len(), 14);
+        // Dropping A's root makes the whole structure garbage.
+        sys.remove_root(fig.a).unwrap();
+        assert!(sys.oracle_live().is_empty());
+        assert_eq!(sys.total_scions(), 4);
+    }
+
+    #[test]
+    fn fig4_topology_shape() {
+        let mut sys = system(6);
+        let fig = fig4(&mut sys);
+        sys.check_invariants().unwrap();
+        assert!(sys.oracle_live().is_empty(), "fig4 is garbage from birth");
+        assert_eq!(sys.total_scions(), 7);
+        assert_ne!(fig.r_df, fig.r_fv);
+    }
+
+    #[test]
+    fn fig1_live_through_dependency() {
+        let mut sys = system(4);
+        let fig = fig1(&mut sys);
+        sys.check_invariants().unwrap();
+        // w roots the whole cycle through w -> x.
+        assert_eq!(sys.oracle_live().len(), 4);
+        assert_ne!(fig.r_zx, fig.r_wx, "distinct converging references");
+        sys.remove_root(fig.w).unwrap();
+        assert!(sys.oracle_live().is_empty());
+    }
+
+    #[test]
+    fn fig2_rooted_cycle_is_live() {
+        let mut sys = system(3);
+        let fig = fig2(&mut sys);
+        assert_eq!(sys.oracle_live().len(), 3);
+        sys.remove_root(fig.x).unwrap();
+        assert!(sys.oracle_live().is_empty());
+    }
+
+    #[test]
+    fn fig5_live_through_p1_root() {
+        let mut sys = system(5);
+        let fig = fig5(&mut sys);
+        sys.check_invariants().unwrap();
+        let live = sys.oracle_live();
+        assert!(live.contains(&fig.b) && live.contains(&fig.f));
+        assert!(live.contains(&fig.m3) && live.contains(&fig.j));
+        assert_eq!(live.len(), 7, "B, D, F, J, V, T and M3");
+    }
+
+    #[test]
+    fn ring_anchoring() {
+        let mut sys = system(3);
+        let procs: Vec<ProcId> = (0..3).map(ProcId).collect();
+        let ring = ring(&mut sys, &procs, 4, true);
+        assert_eq!(ring.refs.len(), 3);
+        assert_eq!(sys.oracle_live().len(), 13, "3*4 chain objects + anchor");
+        sys.remove_root(ring.anchor.unwrap()).unwrap();
+        assert!(sys.oracle_live().is_empty());
+        sys.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn random_graph_is_structurally_sound() {
+        use acdgc_model::rng::component_rng;
+        let mut sys = system(4);
+        let mut rng = component_rng(11, "scenario-test");
+        let objs = random_graph(&mut sys, &mut rng, &RandomGraphParams::default());
+        assert_eq!(objs.len(), 80);
+        sys.check_invariants().unwrap();
+        let live = sys.oracle_live();
+        assert!(live.len() <= objs.len());
+    }
+}

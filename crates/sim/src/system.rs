@@ -1,0 +1,1193 @@
+//! The sequential, deterministic whole-system simulator.
+
+use crate::messages::{InvokeSpec, SysMessage};
+use crate::metrics::Metrics;
+use crate::oracle;
+use crate::process::Process;
+use acdgc_dcda::{select_candidates, Cdm, Outcome, TerminateReason};
+use acdgc_heap::{lgc, HeapRef};
+use acdgc_net::{Envelope, MessageClass, NetStats, Network};
+use acdgc_remoting::{
+    apply_new_set_stubs, build_new_set_stubs, ExportedRef, InvokePayload, ReplyPayload,
+};
+use acdgc_snapshot::summarize;
+use acdgc_model::{
+    GcConfig, IdAllocator, IntegrationMode, ModelError, NetConfig, ObjId, ProcId, RefId,
+    SimDuration, SimTime,
+};
+use rustc_hash::FxHashSet;
+
+/// A complete simulated distributed system: N processes, one network, one
+/// clock, one metrics ledger.
+pub struct System {
+    cfg: GcConfig,
+    procs: Vec<Process>,
+    net: Network<SysMessage>,
+    clock: SimTime,
+    ids: IdAllocator,
+    /// Verify every reclamation against the global reachability oracle.
+    /// On by default; benches switch it off (it is O(heap) per LGC).
+    pub check_safety: bool,
+    pub metrics: Metrics,
+}
+
+impl System {
+    pub fn new(num_procs: usize, cfg: GcConfig, net_cfg: NetConfig, seed: u64) -> Self {
+        assert!(num_procs >= 1 && num_procs <= u16::MAX as usize);
+        let procs = (0..num_procs)
+            .map(|i| Process::new(ProcId(i as u16), &cfg))
+            .collect();
+        System {
+            cfg,
+            procs,
+            net: Network::new(net_cfg, seed),
+            clock: SimTime::ZERO,
+            ids: IdAllocator::new(),
+            check_safety: true,
+            metrics: Metrics::default(),
+        }
+    }
+
+    // --- accessors -----------------------------------------------------------
+
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    pub fn config(&self) -> &GcConfig {
+        &self.cfg
+    }
+
+    pub fn config_mut(&mut self) -> &mut GcConfig {
+        &mut self.cfg
+    }
+
+    pub fn num_procs(&self) -> usize {
+        self.procs.len()
+    }
+
+    pub fn procs(&self) -> &[Process] {
+        &self.procs
+    }
+
+    pub fn proc(&self, p: ProcId) -> &Process {
+        &self.procs[p.index()]
+    }
+
+    pub fn proc_mut(&mut self, p: ProcId) -> &mut Process {
+        &mut self.procs[p.index()]
+    }
+
+    pub fn net_stats(&self) -> NetStats {
+        self.net.stats()
+    }
+
+    /// Sever both directions between two processes (subsequent sends are
+    /// lost until healed; in-flight traffic still arrives).
+    pub fn partition_pair(&mut self, a: ProcId, b: ProcId) {
+        self.net.partition_pair(a, b);
+    }
+
+    /// Restore every severed link.
+    pub fn heal_all_partitions(&mut self) {
+        self.net.heal_all();
+    }
+
+    pub fn messages_in_flight(&self) -> usize {
+        self.net.in_flight()
+    }
+
+    /// Total live objects across all heaps.
+    pub fn total_live_objects(&self) -> usize {
+        self.procs.iter().map(|p| p.heap.stats().live_objects).sum()
+    }
+
+    /// Total scions across all processes.
+    pub fn total_scions(&self) -> usize {
+        self.procs.iter().map(|p| p.tables.scion_count()).sum()
+    }
+
+    /// Advance the clock without running anything (no events may be due).
+    pub fn advance(&mut self, d: SimDuration) {
+        self.clock += d;
+    }
+
+    // --- mutator API -----------------------------------------------------------
+
+    pub fn alloc(&mut self, p: ProcId, payload_words: u32) -> ObjId {
+        self.procs[p.index()].heap.alloc(payload_words)
+    }
+
+    pub fn add_root(&mut self, obj: ObjId) -> Result<(), ModelError> {
+        self.procs[obj.proc.index()].heap.add_root(obj)
+    }
+
+    pub fn remove_root(&mut self, obj: ObjId) -> Result<bool, ModelError> {
+        self.procs[obj.proc.index()].heap.remove_root(obj)
+    }
+
+    pub fn add_local_ref(&mut self, from: ObjId, to: ObjId) -> Result<(), ModelError> {
+        if from.proc != to.proc {
+            return Err(ModelError::UnknownProcess(to.proc));
+        }
+        self.procs[from.proc.index()]
+            .heap
+            .add_ref(from, HeapRef::Local(to.slot))
+    }
+
+    pub fn remove_local_ref(&mut self, from: ObjId, to: ObjId) -> Result<(), ModelError> {
+        self.procs[from.proc.index()]
+            .heap
+            .remove_ref(from, HeapRef::Local(to.slot))
+    }
+
+    /// Create a remote reference `from -> to` directly (topology building).
+    /// The stub/scion pair is created atomically; no message travels.
+    /// Reference-listing granularity: if `from`'s process already
+    /// references `to`, the existing pair is shared and its `RefId`
+    /// returned.
+    pub fn create_remote_ref(&mut self, from: ObjId, to: ObjId) -> Result<RefId, ModelError> {
+        if from.proc == to.proc {
+            return Err(ModelError::SameProcessRemoteRef(from.proc));
+        }
+        if !self.procs[from.proc.index()].heap.contains(from) {
+            return Err(ModelError::DanglingObject(from));
+        }
+        if !self.procs[to.proc.index()].heap.contains(to) {
+            return Err(ModelError::DanglingObject(to));
+        }
+        let ref_id = self.ensure_pair(from.proc, to);
+        self.procs[from.proc.index()]
+            .heap
+            .add_ref(from, HeapRef::Remote(ref_id))?;
+        Ok(ref_id)
+    }
+
+    /// Ensure the (holder process, target object) stub/scion pair exists,
+    /// reusing or repairing whichever half survives:
+    /// * both present — share it (pardoning a condemned stub);
+    /// * stub only (the scion was deleted, e.g. by a cycle verdict, while
+    ///   the target still lives) — recreate the scion under the same id;
+    /// * scion only (the stub died at the holder, reference listing has
+    ///   not caught up) — recreate the stub under the same id;
+    /// * neither — mint a fresh pair.
+    fn ensure_pair(&mut self, holder: ProcId, target: ObjId) -> RefId {
+        let now = self.clock;
+        let dbg = std::env::var_os("ACDGC_DEBUG_UNSAFE").is_some();
+        let stub_side = self.procs[holder.index()]
+            .tables
+            .stub_for_target(target)
+            .map(|s| s.ref_id);
+        let scion_side = self.procs[target.proc.index()]
+            .tables
+            .scion_for_source(holder, target)
+            .map(|s| s.ref_id);
+        match (stub_side, scion_side) {
+            (Some(r), Some(r2)) => {
+                debug_assert_eq!(r, r2, "pair halves disagree");
+                self.procs[holder.index()].tables.pardon_stub(r);
+                // Reuse counts as re-establishment: protect the scion from
+                // NewSetStubs built before this instant.
+                self.procs[target.proc.index()]
+                    .tables
+                    .refresh_scion(r, now);
+                r
+            }
+            (Some(r), None) => {
+                self.procs[holder.index()].tables.pardon_stub(r);
+                self.procs[target.proc.index()]
+                    .tables
+                    .add_scion(r, target, holder, now);
+                r
+            }
+            (None, Some(r)) => {
+                // The stub is being re-created after dying: a NewSetStubs
+                // without it may still be in flight — refresh the scion's
+                // horizon so that stale set cannot delete it.
+                if dbg { eprintln!("t={:?} re-establish stub {r:?} at {holder} target {target:?}", self.clock); }
+                self.procs[holder.index()].tables.add_stub(r, target, now);
+                self.procs[target.proc.index()]
+                    .tables
+                    .refresh_scion(r, now);
+                r
+            }
+            (None, None) => {
+                let r = self.ids.next_ref_id();
+                self.procs[target.proc.index()]
+                    .tables
+                    .add_scion(r, target, holder, now);
+                self.procs[holder.index()].tables.add_stub(r, target, now);
+                r
+            }
+        }
+    }
+
+    /// Drop one occurrence of the remote reference `ref_id` from `from`'s
+    /// fields. The stub dies at `from`'s next LGC if nothing else holds it.
+    pub fn drop_remote_ref(&mut self, from: ObjId, ref_id: RefId) -> Result<(), ModelError> {
+        self.procs[from.proc.index()]
+            .heap
+            .remove_ref(from, HeapRef::Remote(ref_id))
+    }
+
+    /// Perform a remote invocation from `caller` through reference `via`.
+    ///
+    /// Models the paper's instrumented remoting: the stub/scion invocation
+    /// counters advance, and every reference in `spec.exports` is
+    /// marshalled (scion created at the target's owner — pinned until the
+    /// import completes — stub created at the callee on delivery).
+    pub fn invoke(
+        &mut self,
+        caller: ProcId,
+        via: RefId,
+        spec: InvokeSpec,
+    ) -> Result<(), ModelError> {
+        let now = self.clock;
+        let stub = self.procs[caller.index()]
+            .tables
+            .stub(via)
+            .ok_or(ModelError::UnknownStub(caller, via))?
+            .clone();
+        let callee = stub.target.proc;
+        // Validate every export up front so no partial effect leaks on
+        // error.
+        for &target in spec.exports.iter().chain(spec.reply_exports.iter()) {
+            if !self.procs[target.proc.index()].heap.contains(target) {
+                return Err(ModelError::DanglingObject(target));
+            }
+        }
+        self.procs[caller.index()]
+            .tables
+            .record_send_through_stub(via)?;
+        self.metrics.invocations += 1;
+        // An invocation in flight is a use of the reference: its scion may
+        // not be reclaimed until the call lands (in a real runtime the
+        // caller's stack pins the proxy for the duration of the RPC).
+        // Ignore failure: if the scion is already gone the delivery-side
+        // accounting will flag it.
+        let _ = self.procs[callee.index()].tables.pin_scion(via);
+
+        let exports = self.marshal_exports(&spec.exports, caller, callee)?;
+        let wants_reply =
+            spec.wants_reply || spec.receiver.is_some() || !spec.reply_exports.is_empty();
+        let payload = InvokePayload {
+            ref_id: via,
+            exports,
+            arg_bytes: spec.arg_bytes,
+            wants_reply,
+        };
+        let msg = SysMessage::Invoke {
+            payload,
+            reply_exports: spec.reply_exports,
+            receiver: spec.receiver,
+        };
+        let size = msg.size_bytes();
+        self.net
+            .send(now, caller, callee, MessageClass::Application, size, msg);
+        Ok(())
+    }
+
+    /// Marshal a list of objects for export from `exporter` to `importer`:
+    /// create a (pinned) scion at each object's owner. Objects already
+    /// local to the importer are short-circuited at delivery and get no
+    /// scion.
+    ///
+    /// Exporting an object the exporter reaches through a *remote*
+    /// reference is a **reference copy along that reference** — a mutator
+    /// event the detector must be able to see (§2.2 rule 3 explicitly
+    /// includes "possibly reference copying"). The copied reference's
+    /// invocation counters are bumped on both ends, exactly like an
+    /// invocation; without this, exporting a cycle member to a third
+    /// process between two snapshots could complete a stale CDM-Graph and
+    /// collect a now-live cycle.
+    fn marshal_exports(
+        &mut self,
+        objects: &[ObjId],
+        exporter: ProcId,
+        importer: ProcId,
+    ) -> Result<Vec<ExportedRef>, ModelError> {
+        let now = self.clock;
+        let mut out = Vec::with_capacity(objects.len());
+        for &target in objects {
+            if !self.procs[target.proc.index()].heap.contains(target) {
+                return Err(ModelError::DanglingObject(target));
+            }
+            if self.cfg.instrument_remoting && target.proc != exporter {
+                // Copying a remote reference: bump the counters of the
+                // exporter's reference to this object (both ends — the
+                // scion side models the SSP-chain message that installs
+                // the new scion at the owner).
+                let copied: Option<RefId> = self.procs[exporter.index()]
+                    .tables
+                    .stubs()
+                    .filter(|s| s.target == target)
+                    .map(|s| s.ref_id)
+                    .min();
+                if let Some(copied) = copied {
+                    let _ = self.procs[exporter.index()]
+                        .tables
+                        .record_send_through_stub(copied);
+                    let _ = self.procs[target.proc.index()]
+                        .tables
+                        .record_receive_through_scion(copied, now);
+                }
+            }
+            let ref_id = if self.cfg.instrument_remoting && target.proc != importer {
+                // Reference-listing dedup: reuse (or repair) the pair if
+                // either half already exists for (importer, target). The
+                // scion is pinned until the import completes.
+                let ref_id = match self.procs[target.proc.index()]
+                    .tables
+                    .scion_for_source(importer, target)
+                    .map(|s| s.ref_id)
+                {
+                    Some(r) => {
+                        // Re-export of an existing pair: the importer's
+                        // stub may have died and a NewSetStubs without it
+                        // may be in flight; refresh the horizon.
+                        self.procs[target.proc.index()]
+                            .tables
+                            .refresh_scion(r, now);
+                        r
+                    }
+                    None => {
+                        // The importer may hold a stale stub whose scion
+                        // was deleted; reuse its id so the repaired pair
+                        // stays consistent with the importer's table.
+                        let stale = self.procs[importer.index()]
+                            .tables
+                            .stub_for_target(target)
+                            .map(|s| s.ref_id);
+                        let r = stale.unwrap_or_else(|| self.ids.next_ref_id());
+                        self.procs[target.proc.index()]
+                            .tables
+                            .add_scion(r, target, importer, now);
+                        r
+                    }
+                };
+                self.procs[target.proc.index()].tables.pin_scion(ref_id)?;
+                ref_id
+            } else {
+                // Uninstrumented, or a short-circuit home delivery: the id
+                // is a placeholder for the wire format only.
+                self.ids.next_ref_id()
+            };
+            self.metrics.refs_exported += 1;
+            out.push(ExportedRef { ref_id, target });
+        }
+        Ok(out)
+    }
+
+    /// Import marshalled references at `importer`, attaching them as fields
+    /// of `holder` (when given and alive). Unpins the export scions.
+    fn import_exports(
+        &mut self,
+        importer: ProcId,
+        holder: Option<ObjId>,
+        exports: &[ExportedRef],
+    ) {
+        let now = self.clock;
+        for export in exports {
+            if export.target.proc == importer {
+                // Short-circuit: the reference came home; it becomes local.
+                if let Some(h) = holder {
+                    if self.procs[importer.index()].heap.contains(h)
+                        && self.procs[importer.index()].heap.contains(export.target)
+                    {
+                        let _ = self.procs[importer.index()]
+                            .heap
+                            .add_ref(h, HeapRef::Local(export.target.slot));
+                    }
+                }
+                continue;
+            }
+            if !self.cfg.instrument_remoting {
+                continue;
+            }
+            let holder_alive =
+                holder.is_some_and(|h| self.procs[importer.index()].heap.contains(h));
+            if holder_alive {
+                let holder = holder.unwrap();
+                let importer_proc = &mut self.procs[importer.index()];
+                // Shared pair: the stub may already exist (the exporter
+                // reused the scion); a condemned stub is resurrected by
+                // the re-import — the paper's weak-reference monitor
+                // "pardons" proxies seen alive again.
+                if importer_proc.tables.stub(export.ref_id).is_none() {
+                    importer_proc
+                        .tables
+                        .add_stub(export.ref_id, export.target, now);
+                } else {
+                    importer_proc.tables.pardon_stub(export.ref_id);
+                }
+                let _ = importer_proc
+                    .heap
+                    .add_ref(holder, HeapRef::Remote(export.ref_id));
+                let owner = &mut self.procs[export.target.proc.index()].tables;
+                let _ = owner.unpin_scion(export.ref_id);
+                // The import completed *now*: any NewSetStubs built while
+                // the reference was in flight (it could not yet know the
+                // stub) must not judge this scion.
+                owner.refresh_scion(export.ref_id, now);
+            } else {
+                // Nobody to hold the reference: release the pin and let the
+                // acyclic DGC reclaim the orphan scion.
+                let _ = self.procs[export.target.proc.index()]
+                    .tables
+                    .unpin_scion(export.ref_id);
+            }
+        }
+    }
+
+    // --- GC phases --------------------------------------------------------------
+
+    /// Run one local collection at `p` and broadcast `NewSetStubs`.
+    pub fn run_lgc(&mut self, p: ProcId) {
+        let now = self.clock;
+        let oracle_live = self
+            .check_safety
+            .then(|| oracle::global_live(&*self));
+
+        let proc = &mut self.procs[p.index()];
+        let targets = proc.tables.scion_target_slots();
+        let result = lgc::collect(&mut proc.heap, &targets);
+        self.metrics.lgc_runs += 1;
+        self.metrics.objects_reclaimed += result.sweep.freed.len() as u64;
+        if let Some(live) = &oracle_live {
+            for freed in &result.sweep.freed {
+                if live.contains(freed) {
+                    self.metrics.unsafe_frees += 1;
+                    if std::env::var_os("ACDGC_DEBUG_UNSAFE").is_some() {
+                        eprintln!("UNSAFE FREE at {p}: {freed:?}; scion targets were {targets:?}");
+                        for q in &self.procs {
+                            for stub in q.tables.stubs() {
+                                if stub.target == *freed {
+                                    eprintln!("  stub at {}: {:?} pair {:?} condemned={}", q.proc(), stub.ref_id, stub.target, stub.condemned);
+                                }
+                            }
+                            for (slot, rec) in q.heap.iter() {
+                                for r in rec.remote_refs() {
+                                    if q.tables.stub(r).map(|s| s.target) == Some(*freed) {
+                                        eprintln!("  held by {:?}#{} via {:?} (holder live={})", q.proc(), slot, r, live.contains(&q.heap.id_of_slot(slot).unwrap()));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Stub-death handling per integration mode.
+        let proc = &mut self.procs[p.index()];
+        let dead: Vec<RefId> = proc
+            .tables
+            .stubs()
+            .filter(|s| !result.mark.live_stubs.contains(&s.ref_id))
+            .map(|s| s.ref_id)
+            .collect();
+        match self.cfg.integration {
+            IntegrationMode::VmIntegrated => {
+                proc.tables.remove_dead_stubs(&dead);
+            }
+            IntegrationMode::WeakRefMonitor => {
+                proc.tables.condemn_stubs(&dead);
+                for &live_ref in &result.mark.live_stubs {
+                    proc.tables.pardon_stub(live_ref);
+                }
+            }
+        }
+
+        // Reference listing: announce the surviving stub sets.
+        let peers: Vec<ProcId> = (0..self.procs.len() as u16)
+            .map(ProcId)
+            .filter(|&q| q != p)
+            .collect();
+        let msgs = build_new_set_stubs(&mut self.procs[p.index()].tables, &peers, now);
+        for (dest, m) in msgs {
+            self.metrics.nss_sent += 1;
+            let size = m.size_bytes();
+            self.net
+                .send(now, p, dest, MessageClass::Gc, size, SysMessage::Nss(m));
+        }
+    }
+
+    /// The OBIWAN monitor pass: reclaim condemned stubs at `p` and send the
+    /// corrected stub sets.
+    pub fn run_monitor(&mut self, p: ProcId) {
+        if self.cfg.integration != IntegrationMode::WeakRefMonitor {
+            return;
+        }
+        let now = self.clock;
+        self.metrics.monitor_passes += 1;
+        let removed = self.procs[p.index()].tables.monitor_pass();
+        if removed.is_empty() {
+            return;
+        }
+        let peers: Vec<ProcId> = (0..self.procs.len() as u16)
+            .map(ProcId)
+            .filter(|&q| q != p)
+            .collect();
+        let msgs = build_new_set_stubs(&mut self.procs[p.index()].tables, &peers, now);
+        for (dest, m) in msgs {
+            self.metrics.nss_sent += 1;
+            let size = m.size_bytes();
+            self.net
+                .send(now, p, dest, MessageClass::Gc, size, SysMessage::Nss(m));
+        }
+    }
+
+    /// Snapshot + summarize `p`, publishing a new summary atomically.
+    pub fn take_snapshot(&mut self, p: ProcId) {
+        let now = self.clock;
+        let proc = &mut self.procs[p.index()];
+        let version = proc.next_summary_version();
+        proc.summary = summarize(&proc.heap, &proc.tables, version, now);
+        proc.candidates.retain_known(&proc.summary);
+        self.metrics.snapshots += 1;
+        self.metrics.summary_scions += proc.summary.scions.len() as u64;
+        self.metrics.summary_stubs += proc.summary.stubs.len() as u64;
+    }
+
+    /// Candidate scan at `p`: initiate detections for stale scions.
+    pub fn run_scan(&mut self, p: ProcId) {
+        let now = self.clock;
+        let proc = &mut self.procs[p.index()];
+        let picked = select_candidates(&proc.summary, &mut proc.candidates, now, &self.cfg);
+        for scion in picked {
+            self.initiate_detection(p, scion);
+        }
+    }
+
+    /// Start one detection from `scion` at `p` (used by scans and directly
+    /// by tests that pick their own candidates).
+    pub fn initiate_detection(&mut self, p: ProcId, scion: RefId) {
+        let proc = &self.procs[p.index()];
+        let Some(summary_scion) = proc.summary.scion(scion) else {
+            self.metrics.detections_dropped_no_scion += 1;
+            return;
+        };
+        let cdm = Cdm::initiate(
+            self.ids.next_detection_id(),
+            p,
+            scion,
+            summary_scion.ic,
+        );
+        self.metrics.detections_started += 1;
+        let outcome = acdgc_dcda::initiate(&proc.summary, cdm, scion, &self.cfg);
+        self.handle_outcome(p, outcome);
+    }
+
+    fn handle_outcome(&mut self, p: ProcId, outcome: Outcome) {
+        let now = self.clock;
+        match outcome {
+            Outcome::Forwarded {
+                out: list,
+                branches_pruned_local,
+                branches_no_new_info,
+            } => {
+                self.metrics.branches_pruned_local += u64::from(branches_pruned_local);
+                self.metrics.branches_no_new_info += u64::from(branches_no_new_info);
+                for ob in list {
+                    self.metrics.cdms_sent += 1;
+                    let size = 8 + ob.cdm.size_bytes();
+                    self.metrics.max_cdm_bytes = self.metrics.max_cdm_bytes.max(size as u64);
+                    self.net.send(
+                        now,
+                        p,
+                        ob.dest,
+                        MessageClass::Gc,
+                        size,
+                        SysMessage::Cdm {
+                            via: ob.via,
+                            cdm: ob.cdm,
+                        },
+                    );
+                }
+            }
+            Outcome::CycleFound { delete } => {
+                self.metrics.cycles_detected += 1;
+                for (owner, scion, incarnation) in delete {
+                    if owner == p {
+                        self.delete_proven_scion(p, scion, incarnation);
+                    } else {
+                        let msg = SysMessage::DeleteScion { scion, incarnation };
+                        let size = msg.size_bytes();
+                        self.net.send(now, p, owner, MessageClass::Gc, size, msg);
+                    }
+                }
+            }
+            Outcome::DroppedNoScion => self.metrics.detections_dropped_no_scion += 1,
+            Outcome::AbortedIcMismatch { .. } => self.metrics.detections_aborted_ic += 1,
+            Outcome::DroppedHopCap => self.metrics.detections_dropped_hops += 1,
+            Outcome::Terminated(reason) => match reason {
+                TerminateReason::NoStubs => self.metrics.detections_terminated_no_stubs += 1,
+                TerminateReason::AllStubsLocallyReachable => {
+                    self.metrics.detections_terminated_local += 1
+                }
+                TerminateReason::NoNewInformation => {
+                    self.metrics.detections_terminated_no_new_info += 1
+                }
+                TerminateReason::BudgetExhausted => {
+                    self.metrics.detections_terminated_budget += 1
+                }
+            },
+        }
+    }
+
+    // --- message dispatch ----------------------------------------------------------
+
+    fn dispatch(&mut self, env: Envelope<SysMessage>) {
+        let dst = env.dst;
+        match env.payload {
+            SysMessage::Invoke {
+                payload,
+                reply_exports,
+                receiver,
+            } => self.dispatch_invoke(env.src, dst, payload, reply_exports, receiver),
+            SysMessage::Reply { payload, receiver } => {
+                self.dispatch_reply(dst, payload, receiver)
+            }
+            SysMessage::Nss(nss) => {
+                let applied = apply_new_set_stubs(&mut self.procs[dst.index()].tables, &nss);
+                if applied.stale {
+                    self.metrics.nss_stale += 1;
+                } else {
+                    self.metrics.nss_applied += 1;
+                    self.metrics.scions_reclaimed_acyclic += applied.removed.len() as u64;
+                    if std::env::var_os("ACDGC_DEBUG_UNSAFE").is_some() {
+                        for sc in &applied.removed {
+                            eprintln!("t={:?} NSS from {} removed scion {:?} target {:?} (created {:?})", self.clock, nss.from, sc.ref_id, sc.target, sc.created_at);
+                        }
+                    }
+                }
+            }
+            SysMessage::Cdm { via, cdm } => {
+                self.metrics.cdms_delivered += 1;
+                let outcome = acdgc_dcda::deliver(&self.procs[dst.index()].summary, cdm, via, &self.cfg);
+                self.handle_outcome(dst, outcome);
+            }
+            SysMessage::DeleteScion { scion, incarnation } => {
+                self.delete_proven_scion(dst, scion, incarnation);
+            }
+        }
+    }
+
+    /// Apply a cycle verdict to one scion this process owns: delete it
+    /// unless an invocation/import is in flight (pinned — with the counter
+    /// barrier on, a verdict over an active reference cannot happen; the
+    /// pin guard keeps even the unsafe ablations structurally sound).
+    fn delete_proven_scion(&mut self, p: ProcId, scion: RefId, incarnation: u32) {
+        // ABA guard: the verdict proved a specific incarnation garbage; a
+        // newer incarnation under the same id is a different, possibly
+        // live reference.
+        if self.procs[p.index()]
+            .tables
+            .scion(scion)
+            .is_none_or(|s| s.incarnation != incarnation)
+        {
+            return;
+        }
+        if self.check_safety {
+            // A scion deletion is unsafe iff the *reference* is still
+            // live: some oracle-live object at the holding process still
+            // holds it. (The target being live through other paths does
+            // not make deleting a dead reference's scion unsafe.)
+            let holder = self.procs[p.index()]
+                .tables
+                .scion(scion)
+                .map(|s| s.from_proc);
+            if let Some(holder) = holder {
+                let live = oracle::global_live(&*self);
+                if oracle::ref_is_live(&*self, holder, scion, &live) {
+                    self.metrics.unsafe_scion_deletes += 1;
+                }
+            }
+        }
+        let proc = &mut self.procs[p.index()];
+        let pinned = proc.tables.scion(scion).is_some_and(|s| s.pinned > 0);
+        if !pinned {
+            if proc.tables.remove_scion(scion).is_some() {
+                self.metrics.scions_deleted_by_dcda += 1;
+            }
+            proc.summary.scions.remove(&scion);
+        }
+    }
+
+    fn dispatch_invoke(
+        &mut self,
+        src: ProcId,
+        dst: ProcId,
+        payload: InvokePayload,
+        reply_exports: Vec<ObjId>,
+        receiver: Option<ObjId>,
+    ) {
+        let now = self.clock;
+        let target = match self.procs[dst.index()]
+            .tables
+            .record_receive_through_scion(payload.ref_id, now)
+        {
+            Ok(_) => self.procs[dst.index()]
+                .tables
+                .scion(payload.ref_id)
+                .map(|s| s.target),
+            Err(_) => None,
+        };
+        let Some(target) = target else {
+            // The scion vanished under a live reference — with a sound
+            // collector this only happens if something unsafe occurred
+            // (the scion was pinned at send time).
+            self.metrics.invoke_on_missing_scion += 1;
+            // Release pins so the export scions are not leaked.
+            self.import_exports(dst, None, &payload.exports);
+            return;
+        };
+        // The RPC has landed: release the in-flight pin taken at send.
+        let _ = self.procs[dst.index()].tables.unpin_scion(payload.ref_id);
+        self.import_exports(dst, Some(target), &payload.exports);
+        if payload.wants_reply {
+            let exports = match self.marshal_exports(&reply_exports, dst, src) {
+                Ok(e) => e,
+                Err(_) => Vec::new(),
+            };
+            // The reply travels back through the same reference: the callee
+            // side counter advances now, the caller side on delivery.
+            let _ = self.procs[dst.index()]
+                .tables
+                .record_reply_sent_through_scion(payload.ref_id, now);
+            self.metrics.replies += 1;
+            let msg = SysMessage::Reply {
+                payload: ReplyPayload {
+                    ref_id: payload.ref_id,
+                    exports,
+                },
+                receiver,
+            };
+            let size = msg.size_bytes();
+            self.net
+                .send(now, dst, src, MessageClass::Application, size, msg);
+        }
+    }
+
+    fn dispatch_reply(&mut self, dst: ProcId, payload: ReplyPayload, receiver: Option<ObjId>) {
+        if self.procs[dst.index()]
+            .tables
+            .record_reply_received_through_stub(payload.ref_id)
+            .is_err()
+        {
+            self.metrics.reply_on_missing_stub += 1;
+        }
+        self.import_exports(dst, receiver, &payload.exports);
+    }
+
+    // --- event loop -------------------------------------------------------------------
+
+    /// Time of the next event (message delivery or scheduled GC phase).
+    pub fn next_event_at(&self) -> Option<SimTime> {
+        let net = self.net.next_delivery_at();
+        let task = self.procs.iter().map(|p| p.next_task_at()).min();
+        match (net, task) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Execute the single earliest event. Returns `false` when idle.
+    /// Deliveries win ties, then processes in index order.
+    pub fn step(&mut self) -> bool {
+        let Some(at) = self.next_event_at() else {
+            return false;
+        };
+        self.clock = self.clock.max(at);
+        if self.net.next_delivery_at() == Some(at) {
+            let env = self.net.pop_next().expect("peeked delivery");
+            self.dispatch(env);
+            return true;
+        }
+        let idx = self
+            .procs
+            .iter()
+            .position(|p| p.next_task_at() == at)
+            .expect("task exists at this time");
+        let p = ProcId(idx as u16);
+        let proc = &mut self.procs[idx];
+        // Run the due phase(s) for this process, rescheduling each.
+        if proc.next_lgc == at {
+            proc.next_lgc = at + self.cfg.lgc_period;
+            self.run_lgc(p);
+        } else if proc.next_snapshot == at {
+            proc.next_snapshot = at + self.cfg.snapshot_period;
+            self.take_snapshot(p);
+        } else if proc.next_scan == at {
+            proc.next_scan = at + self.cfg.scan_period;
+            self.run_scan(p);
+        } else if proc.next_monitor == at {
+            proc.next_monitor = at + self.cfg.monitor_period;
+            self.run_monitor(p);
+        }
+        true
+    }
+
+    /// Run every event due at or before `t`, then set the clock to `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(at) = self.next_event_at() {
+            if at > t {
+                break;
+            }
+            self.step();
+        }
+        self.clock = self.clock.max(t);
+    }
+
+    pub fn run_for(&mut self, d: SimDuration) {
+        let t = self.clock + d;
+        self.run_until(t);
+    }
+
+    /// Deliver and process every in-flight message (and the cascades they
+    /// cause), advancing the clock as needed. GC phase schedules are not
+    /// run — this is the workhorse of manually-driven tests.
+    pub fn drain_network(&mut self) {
+        while let Some(env) = self.net.pop_next() {
+            self.clock = self.clock.max(env.deliver_at);
+            self.dispatch(env);
+        }
+    }
+
+    // --- composite helpers ----------------------------------------------------------
+
+    /// One manual GC round: LGC everywhere, drain, snapshot everywhere,
+    /// scan everywhere, drain. Advances the clock by 1 ms first so
+    /// `NewSetStubs` horizons see previously created scions.
+    pub fn gc_round(&mut self) {
+        self.advance(SimDuration::from_millis(1));
+        for i in 0..self.procs.len() {
+            self.run_lgc(ProcId(i as u16));
+        }
+        self.drain_network();
+        for i in 0..self.procs.len() {
+            self.run_monitor(ProcId(i as u16));
+        }
+        self.drain_network();
+        for i in 0..self.procs.len() {
+            self.take_snapshot(ProcId(i as u16));
+        }
+        for i in 0..self.procs.len() {
+            self.run_scan(ProcId(i as u16));
+        }
+        self.drain_network();
+    }
+
+    /// Run manual GC rounds until the system stops reclaiming (two
+    /// consecutive quiet rounds) or `max_rounds` elapse. Returns rounds run.
+    ///
+    /// Rounds alternate the detector's expansion mode: the paper's
+    /// per-reference walks explore reference subsets (they can carve a
+    /// pure cycle out of a web that converges with live references), while
+    /// eager-combine visits settle whole processes (they cover densely
+    /// shared garbage that per-reference walks cannot). The two are
+    /// complementary; both are oracle-audited and safe.
+    pub fn collect_to_fixpoint(&mut self, max_rounds: usize) -> usize {
+        let original_mode = self.cfg.eager_combine;
+        let mut quiet = 0;
+        for round in 1..=max_rounds {
+            self.cfg.eager_combine = round % 2 == 0 || original_mode;
+            let before = (
+                self.total_live_objects(),
+                self.total_scions(),
+                self.metrics.cycles_detected,
+            );
+            self.gc_round();
+            let after = (
+                self.total_live_objects(),
+                self.total_scions(),
+                self.metrics.cycles_detected,
+            );
+            if before == after {
+                quiet += 1;
+                if quiet >= 3 {
+                    self.cfg.eager_combine = original_mode;
+                    return round;
+                }
+            } else {
+                quiet = 0;
+            }
+        }
+        self.cfg.eager_combine = original_mode;
+        max_rounds
+    }
+
+    /// Structural invariants that must hold between events; tests call this
+    /// after scenarios.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for proc in &self.procs {
+            let p = proc.proc();
+            // Every remote reference held in the heap has a stub.
+            for (slot, rec) in proc.heap.iter() {
+                for r in rec.remote_refs() {
+                    if proc.tables.stub(r).is_none() {
+                        return Err(format!("{p}: object #{slot} holds unknown stub {r}"));
+                    }
+                }
+            }
+            // Every scion's target object is alive (the LGC must preserve
+            // scion targets).
+            for scion in proc.tables.scions() {
+                if !proc.heap.contains(scion.target) {
+                    return Err(format!("{p}: scion {} target {} dead", scion.ref_id, scion.target));
+                }
+            }
+            // Every stub targets a remote process and its id is unique by
+            // construction (map-keyed).
+            for stub in proc.tables.stubs() {
+                if stub.target.proc == p {
+                    return Err(format!("{p}: stub {} targets own process", stub.ref_id));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The set of globally reachable objects (oracle).
+    pub fn oracle_live(&self) -> FxHashSet<ObjId> {
+        oracle::global_live(self)
+    }
+
+    /// Tear the system apart into its processes (for the threaded
+    /// runtime). All in-flight traffic must have been drained.
+    pub fn into_procs(self) -> Vec<Process> {
+        assert_eq!(
+            self.net.in_flight(),
+            0,
+            "drain the network before extracting processes"
+        );
+        self.procs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+
+    fn manual(n: usize) -> System {
+        System::new(n, GcConfig::manual(), NetConfig::instant(), 42)
+    }
+
+    #[test]
+    fn invocation_creates_pairs_and_bumps_counters() {
+        let mut sys = manual(2);
+        let a = sys.alloc(ProcId(0), 1);
+        let b = sys.alloc(ProcId(1), 1);
+        let c = sys.alloc(ProcId(0), 1);
+        sys.add_root(a).unwrap();
+        sys.add_root(c).unwrap();
+        let r = sys.create_remote_ref(a, b).unwrap();
+        // Invoke b through r, exporting c (a P0 object) to P1.
+        sys.invoke(ProcId(0), r, InvokeSpec::exporting(vec![c]))
+            .unwrap();
+        sys.drain_network();
+        assert_eq!(sys.proc(ProcId(0)).tables.stub(r).unwrap().ic, 1);
+        assert_eq!(sys.proc(ProcId(1)).tables.scion(r).unwrap().ic, 1);
+        // The export created a new pair: scion at P0, stub at P1, and b now
+        // holds the reference.
+        assert_eq!(sys.proc(ProcId(0)).tables.scion_count(), 1);
+        assert_eq!(sys.proc(ProcId(1)).tables.stub_count(), 1);
+        let held: Vec<RefId> = sys
+            .proc(ProcId(1))
+            .heap
+            .get(b)
+            .unwrap()
+            .remote_refs()
+            .collect();
+        assert_eq!(held.len(), 1);
+        sys.check_invariants().unwrap();
+        assert_eq!(sys.metrics.invocations, 1);
+        assert_eq!(sys.metrics.refs_exported, 1);
+    }
+
+    #[test]
+    fn reply_bumps_counters_again_and_returns_refs() {
+        let mut sys = manual(2);
+        let a = sys.alloc(ProcId(0), 1);
+        let b = sys.alloc(ProcId(1), 1);
+        let d = sys.alloc(ProcId(1), 1);
+        sys.add_root(a).unwrap();
+        sys.add_root(b).unwrap();
+        sys.add_local_ref(b, d).unwrap();
+        let r = sys.create_remote_ref(a, b).unwrap();
+        let spec = InvokeSpec {
+            reply_exports: vec![d],
+            receiver: Some(a),
+            ..InvokeSpec::default()
+        };
+        sys.invoke(ProcId(0), r, spec).unwrap();
+        sys.drain_network();
+        // Invocation + reply: both counters at 2.
+        assert_eq!(sys.proc(ProcId(0)).tables.stub(r).unwrap().ic, 2);
+        assert_eq!(sys.proc(ProcId(1)).tables.scion(r).unwrap().ic, 2);
+        // a now holds a remote reference to d.
+        let held: Vec<RefId> = sys
+            .proc(ProcId(0))
+            .heap
+            .get(a)
+            .unwrap()
+            .remote_refs()
+            .collect();
+        assert_eq!(held.len(), 2, "original r plus returned ref");
+        assert_eq!(sys.metrics.replies, 1);
+        sys.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn uninstrumented_remoting_skips_dgc_structures() {
+        let mut sys = manual(2);
+        sys.config_mut().instrument_remoting = false;
+        let a = sys.alloc(ProcId(0), 1);
+        let b = sys.alloc(ProcId(1), 1);
+        let c = sys.alloc(ProcId(0), 1);
+        sys.add_root(a).unwrap();
+        sys.add_root(c).unwrap();
+        let r = sys.create_remote_ref(a, b).unwrap();
+        sys.invoke(ProcId(0), r, InvokeSpec::exporting(vec![c]))
+            .unwrap();
+        sys.drain_network();
+        // No pair created for the export (Table 1 baseline).
+        assert_eq!(sys.proc(ProcId(0)).tables.scion_count(), 0);
+        assert_eq!(sys.proc(ProcId(1)).tables.stub_count(), 0);
+    }
+
+    #[test]
+    fn acyclic_distributed_garbage_collected_by_reference_listing() {
+        let mut sys = manual(2);
+        let a = sys.alloc(ProcId(0), 1);
+        let b = sys.alloc(ProcId(1), 1);
+        sys.add_root(a).unwrap();
+        let r = sys.create_remote_ref(a, b).unwrap();
+        sys.gc_round();
+        assert_eq!(sys.total_live_objects(), 2, "both live while referenced");
+        // Drop the reference: b becomes acyclic distributed garbage.
+        sys.drop_remote_ref(a, r).unwrap();
+        sys.collect_to_fixpoint(8);
+        assert_eq!(sys.total_live_objects(), 1, "b reclaimed");
+        assert_eq!(sys.total_scions(), 0);
+        assert_eq!(sys.metrics.scions_reclaimed_acyclic, 1);
+        assert_eq!(sys.metrics.safety_violations(), 0);
+        sys.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn fig3_cycle_collected_end_to_end() {
+        let mut sys = manual(4);
+        let fig = scenarios::fig3(&mut sys);
+        // While rooted: GC rounds must reclaim nothing.
+        sys.collect_to_fixpoint(6);
+        assert_eq!(sys.total_live_objects(), 14);
+        assert_eq!(sys.metrics.cycles_detected, 0, "live cycle never detected");
+        // Cut the root: the 4-process cycle becomes garbage that acyclic
+        // DGC alone cannot reclaim.
+        sys.remove_root(fig.a).unwrap();
+        let rounds = sys.collect_to_fixpoint(20);
+        assert_eq!(
+            sys.total_live_objects(),
+            0,
+            "cycle fully reclaimed after {rounds} rounds; metrics: {:?}",
+            sys.metrics
+        );
+        assert_eq!(sys.total_scions(), 0);
+        assert!(sys.metrics.cycles_detected >= 1);
+        assert_eq!(sys.metrics.safety_violations(), 0);
+        sys.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn fig4_mutual_cycles_collected_end_to_end() {
+        let mut sys = manual(6);
+        let _fig = scenarios::fig4(&mut sys);
+        let rounds = sys.collect_to_fixpoint(30);
+        assert_eq!(
+            sys.total_live_objects(),
+            0,
+            "mutually-linked cycles reclaimed after {rounds} rounds; {:?}",
+            sys.metrics
+        );
+        assert_eq!(sys.metrics.safety_violations(), 0);
+    }
+
+    #[test]
+    fn periodic_event_loop_collects_cycles() {
+        let mut sys = System::new(4, GcConfig::default(), NetConfig::default(), 7);
+        let fig = scenarios::fig3(&mut sys);
+        sys.remove_root(fig.a).unwrap();
+        // Let the periodic schedules run for two simulated seconds.
+        sys.run_for(SimDuration::from_millis(2_000));
+        assert_eq!(sys.total_live_objects(), 0, "{:?}", sys.metrics);
+        assert_eq!(sys.metrics.safety_violations(), 0);
+    }
+
+    #[test]
+    fn message_loss_delays_but_does_not_break_collection() {
+        let mut sys = System::new(4, GcConfig::default(), NetConfig::lossy(0.4), 11);
+        let fig = scenarios::fig3(&mut sys);
+        sys.remove_root(fig.a).unwrap();
+        sys.run_for(SimDuration::from_millis(8_000));
+        assert_eq!(
+            sys.total_live_objects(),
+            0,
+            "40% GC-message loss tolerated; {:?}",
+            sys.metrics
+        );
+        assert_eq!(sys.metrics.safety_violations(), 0);
+        assert!(sys.net_stats().dropped > 0, "loss actually happened");
+    }
+
+    #[test]
+    fn weakref_monitor_mode_collects_too() {
+        let mut sys = System::new(
+            4,
+            GcConfig {
+                integration: IntegrationMode::WeakRefMonitor,
+                ..GcConfig::manual()
+            },
+            NetConfig::instant(),
+            3,
+        );
+        let fig = scenarios::fig3(&mut sys);
+        sys.remove_root(fig.a).unwrap();
+        sys.collect_to_fixpoint(30);
+        assert_eq!(sys.total_live_objects(), 0, "{:?}", sys.metrics);
+        assert!(sys.metrics.monitor_passes > 0);
+        assert_eq!(sys.metrics.safety_violations(), 0);
+    }
+
+    #[test]
+    fn live_remote_chain_never_reclaimed() {
+        let mut sys = manual(3);
+        let a = sys.alloc(ProcId(0), 1);
+        let b = sys.alloc(ProcId(1), 1);
+        let c = sys.alloc(ProcId(2), 1);
+        sys.add_root(a).unwrap();
+        sys.create_remote_ref(a, b).unwrap();
+        sys.create_remote_ref(b, c).unwrap();
+        sys.collect_to_fixpoint(10);
+        assert_eq!(sys.total_live_objects(), 3);
+        assert_eq!(sys.metrics.safety_violations(), 0);
+    }
+
+    #[test]
+    fn step_is_deterministic_for_a_seed() {
+        let run = |seed: u64| {
+            let mut sys = System::new(4, GcConfig::default(), NetConfig::default(), seed);
+            let fig = scenarios::fig3(&mut sys);
+            sys.remove_root(fig.a).unwrap();
+            sys.run_for(SimDuration::from_millis(1_500));
+            (
+                sys.metrics.cdms_sent,
+                sys.metrics.cycles_detected,
+                sys.total_live_objects(),
+                sys.net_stats().sent,
+            )
+        };
+        assert_eq!(run(21), run(21));
+    }
+}

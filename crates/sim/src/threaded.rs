@@ -1,0 +1,316 @@
+//! Genuinely concurrent collection: one OS thread per process.
+//!
+//! The sequential [`crate::System`] proves the algorithm's logic under a
+//! deterministic schedule; this runtime demonstrates the paper's
+//! asynchrony claim under *real* concurrency: each process runs its own
+//! LGC / snapshot / scan loop on its own thread, exchanging messages over
+//! crossbeam channels, with no shared clock and no coordination beyond the
+//! messages themselves. The mutator is quiescent during the run (the
+//! topology is built up front), mirroring the paper's observation that
+//! detection is lazy, off-line work.
+//!
+//! Cross-process scion pin/unpin — the simulator's substituted SSP
+//! handshake — is not needed here because no references are exported while
+//! the threads run.
+
+use crate::process::Process;
+use acdgc_dcda::{select_candidates, Cdm, Outcome, TerminateReason};
+use acdgc_heap::lgc;
+use acdgc_remoting::{apply_new_set_stubs, build_new_set_stubs};
+use acdgc_snapshot::summarize;
+use acdgc_model::{GcConfig, IntegrationMode, ProcId, RefId, SimTime};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Messages exchanged by the threaded runtime.
+enum ThreadMsg {
+    Nss(acdgc_remoting::NewSetStubs),
+    Cdm { via: RefId, cdm: Cdm },
+    DeleteScion(RefId, u32),
+}
+
+/// Counters shared across the threads.
+#[derive(Debug, Default)]
+pub struct ThreadedStats {
+    pub lgc_runs: AtomicU64,
+    pub snapshots: AtomicU64,
+    pub cdms_sent: AtomicU64,
+    pub cycles_detected: AtomicU64,
+    pub scions_deleted: AtomicU64,
+    pub objects_reclaimed: AtomicU64,
+}
+
+/// Run the GC stack concurrently over pre-built processes until the system
+/// reaches a fixpoint (no live objects change for `quiet_checks` sweeps) or
+/// `deadline` elapses. Returns the processes and the shared stats.
+///
+/// `procs` should come from a [`crate::System`] whose topology was built
+/// sequentially — see `tests/threaded_collection.rs` at the workspace
+/// root.
+pub fn run_concurrent_collection(
+    procs: Vec<Process>,
+    cfg: GcConfig,
+    deadline: Duration,
+) -> (Vec<Process>, Arc<ThreadedStats>) {
+    let n = procs.len();
+    let stats = Arc::new(ThreadedStats::default());
+    let stop = Arc::new(AtomicU64::new(0));
+    let detection_ids = Arc::new(AtomicU64::new(0));
+
+    let mut senders: Vec<Sender<ThreadMsg>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Option<Receiver<ThreadMsg>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(Some(rx));
+    }
+
+    let cells: Vec<Arc<Mutex<Process>>> = procs
+        .into_iter()
+        .map(|p| Arc::new(Mutex::new(p)))
+        .collect();
+
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(n);
+    for i in 0..n {
+        let cell = Arc::clone(&cells[i]);
+        let rx = receivers[i].take().unwrap();
+        let txs = senders.clone();
+        let cfg = cfg.clone();
+        let stats = Arc::clone(&stats);
+        let stop = Arc::clone(&stop);
+        let detection_ids = Arc::clone(&detection_ids);
+        handles.push(thread::spawn(move || {
+            worker(
+                ProcId(i as u16),
+                cell,
+                rx,
+                txs,
+                cfg,
+                stats,
+                stop,
+                detection_ids,
+                start,
+                deadline,
+            )
+        }));
+    }
+    for h in handles {
+        h.join().expect("worker thread panicked");
+    }
+    let procs = cells
+        .into_iter()
+        .map(|c| {
+            Arc::try_unwrap(c)
+                .map(|m| m.into_inner())
+                .unwrap_or_else(|arc| arc.lock().clone())
+        })
+        .collect();
+    (procs, stats)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker(
+    me: ProcId,
+    cell: Arc<Mutex<Process>>,
+    rx: Receiver<ThreadMsg>,
+    txs: Vec<Sender<ThreadMsg>>,
+    cfg: GcConfig,
+    stats: Arc<ThreadedStats>,
+    stop: Arc<AtomicU64>,
+    detection_ids: Arc<AtomicU64>,
+    start: Instant,
+    deadline: Duration,
+) {
+    let mut round: u64 = 0;
+    let mut voted = false;
+    // Logical local clock: microseconds since start. Only used for the
+    // NewSetStubs horizon and candidate ages; never compared across
+    // processes by the algorithm.
+    let now = |start: Instant| SimTime(start.elapsed().as_micros() as u64 + 1);
+
+    while stop.load(Ordering::Acquire) < txs.len() as u64 && start.elapsed() < deadline {
+        round += 1;
+
+        // Drain the inbox.
+        while let Ok(msg) = rx.try_recv() {
+            match msg {
+                ThreadMsg::Nss(nss) => {
+                    let mut p = cell.lock();
+                    apply_new_set_stubs(&mut p.tables, &nss);
+                }
+                ThreadMsg::Cdm { via, cdm } => {
+                    let outcome = {
+                        let p = cell.lock();
+                        acdgc_dcda::deliver(&p.summary, cdm, via, &cfg)
+                    };
+                    handle_outcome(&cell, &txs, &stats, outcome);
+                }
+                ThreadMsg::DeleteScion(r, inc) => {
+                    let mut p = cell.lock();
+                    if p.tables
+                        .scion(r)
+                        .is_some_and(|s| s.pinned == 0 && s.incarnation == inc)
+                        && p.tables.remove_scion(r).is_some()
+                    {
+                        stats.scions_deleted.fetch_add(1, Ordering::Relaxed);
+                        p.summary.scions.remove(&r);
+                    }
+                }
+            }
+        }
+
+        // One GC sweep: LGC + NSS, snapshot, scan.
+        {
+            let t = now(start);
+            let mut p = cell.lock();
+            let targets = p.tables.scion_target_slots();
+            let result = lgc::collect(&mut p.heap, &targets);
+            stats
+                .objects_reclaimed
+                .fetch_add(result.sweep.freed.len() as u64, Ordering::Relaxed);
+            stats.lgc_runs.fetch_add(1, Ordering::Relaxed);
+            let dead: Vec<RefId> = p
+                .tables
+                .stubs()
+                .filter(|s| !result.mark.live_stubs.contains(&s.ref_id))
+                .map(|s| s.ref_id)
+                .collect();
+            match cfg.integration {
+                IntegrationMode::VmIntegrated => {
+                    p.tables.remove_dead_stubs(&dead);
+                }
+                IntegrationMode::WeakRefMonitor => {
+                    p.tables.condemn_stubs(&dead);
+                    p.tables.monitor_pass();
+                }
+            }
+            let peers: Vec<ProcId> = (0..txs.len() as u16)
+                .map(ProcId)
+                .filter(|&q| q != me)
+                .collect();
+            for (dest, m) in build_new_set_stubs(&mut p.tables, &peers, t) {
+                let _ = txs[dest.index()].send(ThreadMsg::Nss(m));
+            }
+
+            let version = p.next_summary_version();
+            p.summary = summarize(&p.heap, &p.tables, version, t);
+            stats.snapshots.fetch_add(1, Ordering::Relaxed);
+
+            let picked = {
+                let t = now(start);
+                let Process {
+                    summary,
+                    candidates,
+                    ..
+                } = &mut *p;
+                select_candidates(summary, candidates, t, &cfg)
+            };
+            for scion in picked {
+                let Some(s) = p.summary.scion(scion) else {
+                    continue;
+                };
+                let cdm = Cdm::initiate(
+                    acdgc_model::DetectionId(detection_ids.fetch_add(1, Ordering::Relaxed)),
+                    me,
+                    scion,
+                    s.ic,
+                );
+                let outcome = acdgc_dcda::initiate(&p.summary, cdm, scion, &cfg);
+                drop_outcome_into(&txs, &stats, &cell, outcome, &mut p);
+            }
+        }
+
+        // Fixpoint probe: after a generous number of quiet sweeps, cast a
+        // single vote to stop; the loop ends when every thread has voted.
+        if !voted && round > 64 {
+            voted = true;
+            stop.fetch_add(1, Ordering::AcqRel);
+        }
+        thread::yield_now();
+    }
+    // Final inbox drain so late CDMs/NSS are not lost when peers stopped
+    // after us (their sends are already buffered in the channel).
+    while let Ok(msg) = rx.try_recv() {
+        match msg {
+            ThreadMsg::Nss(nss) => {
+                let mut p = cell.lock();
+                apply_new_set_stubs(&mut p.tables, &nss);
+            }
+            ThreadMsg::DeleteScion(r, inc) => {
+                let mut p = cell.lock();
+                if p.tables
+                    .scion(r)
+                    .is_some_and(|s| s.pinned == 0 && s.incarnation == inc)
+                {
+                    p.tables.remove_scion(r);
+                    p.summary.scions.remove(&r);
+                }
+            }
+            ThreadMsg::Cdm { .. } => {}
+        }
+    }
+}
+
+/// Handle a detection outcome while already holding the process lock.
+fn drop_outcome_into(
+    txs: &[Sender<ThreadMsg>],
+    stats: &ThreadedStats,
+    _cell: &Arc<Mutex<Process>>,
+    outcome: Outcome,
+    p: &mut Process,
+) {
+    match outcome {
+        Outcome::Forwarded { out: list, .. } => {
+            for ob in list {
+                stats.cdms_sent.fetch_add(1, Ordering::Relaxed);
+                let _ = txs[ob.dest.index()].send(ThreadMsg::Cdm {
+                    via: ob.via,
+                    cdm: ob.cdm,
+                });
+            }
+        }
+        Outcome::CycleFound { delete } => {
+            stats.cycles_detected.fetch_add(1, Ordering::Relaxed);
+            let me = p.proc();
+            for (owner, r, inc) in delete {
+                if owner == me {
+                    if p.tables
+                        .scion(r)
+                        .is_some_and(|s| s.pinned == 0 && s.incarnation == inc)
+                        && p.tables.remove_scion(r).is_some()
+                    {
+                        stats.scions_deleted.fetch_add(1, Ordering::Relaxed);
+                        p.summary.scions.remove(&r);
+                    }
+                } else {
+                    let _ = txs[owner.index()].send(ThreadMsg::DeleteScion(r, inc));
+                }
+            }
+        }
+        Outcome::DroppedNoScion
+        | Outcome::AbortedIcMismatch { .. }
+        | Outcome::DroppedHopCap
+        | Outcome::Terminated(
+            TerminateReason::NoStubs
+            | TerminateReason::AllStubsLocallyReachable
+            | TerminateReason::NoNewInformation
+            | TerminateReason::BudgetExhausted,
+        ) => {}
+    }
+}
+
+/// Handle an outcome without holding the lock (delivery path).
+fn handle_outcome(
+    cell: &Arc<Mutex<Process>>,
+    txs: &[Sender<ThreadMsg>],
+    stats: &ThreadedStats,
+    outcome: Outcome,
+) {
+    let mut p = cell.lock();
+    drop_outcome_into(txs, stats, cell, outcome, &mut p);
+}

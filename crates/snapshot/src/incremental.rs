@@ -1,0 +1,316 @@
+//! Incremental summarization.
+//!
+//! §4: "Graph summarization ... is performed, lazily and incrementally, in
+//! each process, after a new object graph has been serialized". The full
+//! summarizer ([`crate::summarize`]) re-runs one BFS per scion; when
+//! little changed since the last snapshot that is wasted work. The
+//! incremental summarizer keeps the previous [`SummarizedGraph`] and a
+//! dirty set, and recomputes:
+//!
+//! * the root closure — always (roots are cheap and `Local.Reach` must be
+//!   exact),
+//! * the per-scion closure only for scions that are **dirty**: new since
+//!   the last summary, or whose reachable subgraph may have changed.
+//!
+//! Dirtiness is tracked conservatively by the process runtime calling
+//! [`DirtyTracker`] hooks on mutator events. Any reference edit or
+//! invocation in a process marks *all* scions of that process dirty unless
+//! the edit provably cannot affect scion closures (allocation of an
+//! unreferenced object). This is deliberately coarse — the win targeted is
+//! the common "nothing happened in this process since the last snapshot"
+//! case, which is exactly the steady state of the paper's lazy regime.
+//!
+//! The equivalence property `incremental == full` holds for every event
+//! sequence (property-tested in `tests/`): the incremental path exists for
+//! cost, never for different answers.
+
+use crate::summary::{summarize, ScionSummary, SummarizedGraph};
+use acdgc_heap::lgc::closure;
+use acdgc_heap::Heap;
+use acdgc_remoting::RemotingTables;
+use acdgc_model::{ProcId, RefId, SimTime};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Conservative mutator-event tracker feeding the incremental summarizer.
+#[derive(Clone, Debug, Default)]
+pub struct DirtyTracker {
+    /// Everything changed: recompute all scions (set by reference edits,
+    /// invocations importing references, LGC reclamation).
+    all_dirty: bool,
+    /// Individually dirty scions (e.g. newly created ones).
+    dirty: FxHashSet<RefId>,
+}
+
+impl DirtyTracker {
+    pub fn new() -> Self {
+        DirtyTracker {
+            // The first summary must compute everything.
+            all_dirty: true,
+            dirty: FxHashSet::default(),
+        }
+    }
+
+    /// A reference field was added or removed anywhere in the process, or
+    /// an LGC ran: scion closures may have changed arbitrarily.
+    pub fn graph_changed(&mut self) {
+        self.all_dirty = true;
+    }
+
+    /// A scion was created (it has no summary yet).
+    pub fn scion_created(&mut self, r: RefId) {
+        self.dirty.insert(r);
+    }
+
+    /// An invocation arrived through `r`: its captured counter and
+    /// last-invoked time are stale (the closure itself is not).
+    pub fn scion_invoked(&mut self, r: RefId) {
+        self.dirty.insert(r);
+    }
+
+    pub fn is_all_dirty(&self) -> bool {
+        self.all_dirty
+    }
+
+    fn take(&mut self) -> (bool, FxHashSet<RefId>) {
+        let all = self.all_dirty;
+        self.all_dirty = false;
+        (all, std::mem::take(&mut self.dirty))
+    }
+}
+
+/// Incremental summarizer state: previous summary + dirty set.
+#[derive(Clone, Debug)]
+pub struct IncrementalSummarizer {
+    tracker: DirtyTracker,
+    previous: SummarizedGraph,
+}
+
+impl IncrementalSummarizer {
+    pub fn new(proc: ProcId) -> Self {
+        IncrementalSummarizer {
+            tracker: DirtyTracker::new(),
+            previous: SummarizedGraph::empty(proc),
+        }
+    }
+
+    pub fn tracker(&mut self) -> &mut DirtyTracker {
+        &mut self.tracker
+    }
+
+    /// Produce the next summary. Scion closures are reused from the
+    /// previous summary when provably unchanged; counters, last-invoked
+    /// times and every `Local.Reach` bit are always refreshed.
+    pub fn summarize(
+        &mut self,
+        heap: &Heap,
+        tables: &RemotingTables,
+        version: u64,
+        taken_at: SimTime,
+    ) -> SummarizedGraph {
+        let (all_dirty, dirty) = self.tracker.take();
+        if all_dirty {
+            self.previous = summarize(heap, tables, version, taken_at);
+            return self.previous.clone();
+        }
+
+        // Root closure is always recomputed: Local.Reach must be exact.
+        let root_closure = closure(heap, heap.roots().collect::<Vec<_>>());
+
+        let mut scions: FxHashMap<RefId, ScionSummary> = FxHashMap::default();
+        let mut scions_to: FxHashMap<RefId, Vec<RefId>> = FxHashMap::default();
+        for scion in tables.scions() {
+            let stubs_from: Vec<RefId> = match self.previous.scion(scion.ref_id) {
+                Some(prev) if !dirty.contains(&scion.ref_id) => {
+                    // Closure unchanged; validate stubs still exist (a
+                    // stub's death without a graph edit is impossible, but
+                    // stay conservative).
+                    prev.stubs_from
+                        .iter()
+                        .copied()
+                        .filter(|r| tables.stub(*r).is_some())
+                        .collect()
+                }
+                _ => {
+                    let reach = closure(heap, [scion.target.slot]);
+                    let mut stubs: Vec<RefId> = reach
+                        .stubs
+                        .iter()
+                        .copied()
+                        .filter(|r| tables.stub(*r).is_some())
+                        .collect();
+                    stubs.sort_unstable();
+                    stubs
+                }
+            };
+            for &stub_ref in &stubs_from {
+                scions_to.entry(stub_ref).or_default().push(scion.ref_id);
+            }
+            scions.insert(
+                scion.ref_id,
+                ScionSummary {
+                    ref_id: scion.ref_id,
+                    from_proc: scion.from_proc,
+                    ic: scion.ic,
+                    stubs_from,
+                    target_locally_reachable: root_closure
+                        .slots
+                        .contains(scion.target.slot as usize),
+                    last_invoked: scion.last_invoked,
+                    incarnation: scion.incarnation,
+                },
+            );
+        }
+
+        let mut stubs = FxHashMap::default();
+        let interesting: Vec<RefId> = scions_to
+            .keys()
+            .copied()
+            .chain(root_closure.stubs.iter().copied())
+            .collect();
+        for ref_id in interesting {
+            if stubs.contains_key(&ref_id) {
+                continue;
+            }
+            let Some(stub) = tables.stub(ref_id) else {
+                continue;
+            };
+            let mut to = scions_to.remove(&ref_id).unwrap_or_default();
+            to.sort_unstable();
+            to.dedup();
+            stubs.insert(
+                ref_id,
+                crate::summary::StubSummary {
+                    ref_id,
+                    target_proc: stub.target.proc,
+                    ic: stub.ic,
+                    scions_to: to,
+                    local_reach: root_closure.stubs.contains(&ref_id),
+                },
+            );
+        }
+
+        self.previous = SummarizedGraph {
+            proc: heap.proc(),
+            version,
+            taken_at,
+            scions,
+            stubs,
+        };
+        self.previous.clone()
+    }
+}
+
+/// Compare two summaries for semantic equality, ignoring version/time.
+pub fn summaries_equivalent(a: &SummarizedGraph, b: &SummarizedGraph) -> bool {
+    if a.proc != b.proc || a.scions.len() != b.scions.len() || a.stubs.len() != b.stubs.len() {
+        return false;
+    }
+    a.scions.iter().all(|(r, s)| b.scion(*r) == Some(s))
+        && a.stubs.iter().all(|(r, s)| b.stub(*r) == Some(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acdgc_heap::HeapRef;
+    use acdgc_model::ObjId;
+
+    fn world() -> (Heap, RemotingTables) {
+        let mut heap = Heap::new(ProcId(0));
+        let mut tables = RemotingTables::new(ProcId(0));
+        let a = heap.alloc(1);
+        let b = heap.alloc(1);
+        heap.add_ref(a, HeapRef::Local(b.slot)).unwrap();
+        heap.add_ref(b, HeapRef::Remote(RefId(2))).unwrap();
+        tables.add_scion(RefId(1), a, ProcId(1), SimTime(0));
+        tables.add_stub(RefId(2), ObjId::new(ProcId(2), 0, 0), SimTime(0));
+        (heap, tables)
+    }
+
+    #[test]
+    fn first_summary_matches_full() {
+        let (heap, tables) = world();
+        let mut inc = IncrementalSummarizer::new(ProcId(0));
+        let i = inc.summarize(&heap, &tables, 1, SimTime(5));
+        let f = summarize(&heap, &tables, 1, SimTime(5));
+        assert!(summaries_equivalent(&i, &f));
+    }
+
+    #[test]
+    fn clean_resummarize_reuses_closures_and_matches_full() {
+        let (mut heap, mut tables) = world();
+        let mut inc = IncrementalSummarizer::new(ProcId(0));
+        inc.summarize(&heap, &tables, 1, SimTime(0));
+        // Only counters move (an invocation), no graph change.
+        tables
+            .record_receive_through_scion(RefId(1), SimTime(3))
+            .unwrap();
+        inc.tracker().scion_invoked(RefId(1));
+        let i = inc.summarize(&heap, &tables, 2, SimTime(4));
+        let f = summarize(&heap, &tables, 2, SimTime(4));
+        assert!(summaries_equivalent(&i, &f));
+        assert_eq!(i.scion(RefId(1)).unwrap().ic, 1, "counter refreshed");
+        let _ = &mut heap;
+    }
+
+    #[test]
+    fn graph_edit_forces_full_recompute() {
+        let (mut heap, mut tables) = world();
+        let mut inc = IncrementalSummarizer::new(ProcId(0));
+        inc.summarize(&heap, &tables, 1, SimTime(0));
+        // Cut the local edge a -> b: stub r2 is no longer reachable from
+        // the scion.
+        let a = heap.id_of_slot(0).unwrap();
+        let b = heap.id_of_slot(1).unwrap();
+        heap.remove_ref(a, HeapRef::Local(b.slot)).unwrap();
+        inc.tracker().graph_changed();
+        let i = inc.summarize(&heap, &tables, 2, SimTime(1));
+        let f = summarize(&heap, &tables, 2, SimTime(1));
+        assert!(summaries_equivalent(&i, &f));
+        assert!(i.scion(RefId(1)).unwrap().stubs_from.is_empty());
+        let _ = &mut tables;
+    }
+
+    #[test]
+    fn new_scion_is_computed_without_global_recompute() {
+        let (mut heap, mut tables) = world();
+        let mut inc = IncrementalSummarizer::new(ProcId(0));
+        inc.summarize(&heap, &tables, 1, SimTime(0));
+        let c = heap.alloc(1);
+        tables.add_scion(RefId(9), c, ProcId(3), SimTime(1));
+        inc.tracker().scion_created(RefId(9));
+        let i = inc.summarize(&heap, &tables, 2, SimTime(2));
+        let f = summarize(&heap, &tables, 2, SimTime(2));
+        assert!(summaries_equivalent(&i, &f));
+        assert!(i.scion(RefId(9)).is_some());
+    }
+
+    #[test]
+    fn root_changes_always_visible_without_dirty_marks() {
+        // Local.Reach is recomputed even with a clean tracker: rooting b
+        // flips the stub's bit.
+        let (mut heap, tables) = world();
+        let mut inc = IncrementalSummarizer::new(ProcId(0));
+        let before = inc.summarize(&heap, &tables, 1, SimTime(0));
+        assert!(!before.stub(RefId(2)).unwrap().local_reach);
+        let b = heap.id_of_slot(1).unwrap();
+        heap.add_root(b).unwrap();
+        let after = inc.summarize(&heap, &tables, 2, SimTime(1));
+        assert!(after.stub(RefId(2)).unwrap().local_reach);
+        let f = summarize(&heap, &tables, 2, SimTime(1));
+        assert!(summaries_equivalent(&after, &f));
+    }
+
+    #[test]
+    fn removed_scion_disappears() {
+        let (heap, mut tables) = world();
+        let mut inc = IncrementalSummarizer::new(ProcId(0));
+        inc.summarize(&heap, &tables, 1, SimTime(0));
+        tables.remove_scion(RefId(1));
+        // No dirty mark needed: the scion loop iterates the live table.
+        let i = inc.summarize(&heap, &tables, 2, SimTime(1));
+        assert!(i.scion(RefId(1)).is_none());
+        let f = summarize(&heap, &tables, 2, SimTime(1));
+        assert!(summaries_equivalent(&i, &f));
+    }
+}

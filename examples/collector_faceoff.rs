@@ -1,0 +1,70 @@
+//! Face-off: the paper's DCDA against the two classic complete collectors
+//! it is compared with in §5 — Hughes-style global timestamps and
+//! Maheshwari–Liskov-style back-tracing — on the same garbage ring.
+//!
+//! Run with: `cargo run --example collector_faceoff`
+
+use acdgc::baselines::{Backtracer, HughesCollector};
+use acdgc::model::{GcConfig, NetConfig, ProcId, SimDuration};
+use acdgc::sim::{scenarios, System};
+
+fn fresh_ring(span: usize) -> (System, acdgc::model::RefId) {
+    let mut sys = System::new(span, GcConfig::manual(), NetConfig::instant(), 11);
+    let procs: Vec<ProcId> = (0..span as u16).map(ProcId).collect();
+    let ring = scenarios::ring(&mut sys, &procs, 2, false);
+    sys.advance(SimDuration::from_millis(1));
+    for p in 0..span {
+        sys.run_lgc(ProcId(p as u16));
+    }
+    sys.drain_network();
+    for p in 0..span {
+        sys.take_snapshot(ProcId(p as u16));
+    }
+    (sys, ring.refs[0])
+}
+
+fn main() {
+    println!(
+        "{:>5} | {:>22} | {:>26} | {:>26}",
+        "span", "DCDA (this paper)", "Hughes timestamps", "back-tracing"
+    );
+    println!(
+        "{:>5} | {:>22} | {:>26} | {:>26}",
+        "", "msgs  sync  state", "msgs  sync  state", "msgs  sync  state"
+    );
+    for span in [2usize, 4, 8, 16] {
+        // --- DCDA: one asynchronous CDM walk, no process state.
+        let (mut sys, scion) = fresh_ring(span);
+        let before = sys.metrics.cdms_sent;
+        sys.initiate_detection(ProcId(0), scion);
+        sys.drain_network();
+        let dcda_msgs = sys.metrics.cdms_sent - before;
+        assert_eq!(sys.metrics.cycles_detected, 1);
+
+        // --- Hughes: stamp every reference every round + a barrier.
+        let (mut sys, _) = fresh_ring(span);
+        let mut hughes = HughesCollector::new((span + 2) as u64);
+        let hr = hughes.collect(&mut sys, (4 * span + 8) as u64);
+        assert_eq!(sys.total_live_objects(), 0);
+
+        // --- Back-tracing: nested synchronous RPC chain, per-trace marks.
+        let (mut sys, scion) = fresh_ring(span);
+        let tracer = Backtracer::new(&sys);
+        let bt = tracer.trace(&mut sys, ProcId(0), scion);
+        assert!(bt.garbage);
+
+        println!(
+            "{span:>5} | {dcda_msgs:>6}  none   none | {:>6}  {:>4}  stamps/ref | {:>6} chain  {:>3} marks",
+            hr.total_messages(),
+            hr.rounds,
+            bt.messages,
+            bt.peak_state_entries,
+        );
+    }
+    println!();
+    println!("DCDA: messages linear in cycle span, zero synchronization, zero");
+    println!("per-process detection state — the paper's asynchrony claim.");
+    println!("Hughes pays a global barrier per round and stamps every remote");
+    println!("reference forever; back-tracing nests synchronous RPCs span-deep");
+    println!("and parks visited-marks at every process it crosses.");
+}

@@ -1,0 +1,55 @@
+//! Quickstart: build the paper's Figure 3 — a garbage cycle spanning four
+//! processes — and watch the hybrid collector reclaim it.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use acdgc::model::{GcConfig, NetConfig, SimDuration};
+use acdgc::sim::{scenarios, System};
+
+fn main() {
+    // Four simulated processes with the default periodic GC schedules and
+    // a realistic (latency, reliable) network. Seed 42 makes the run
+    // reproducible down to every message.
+    let mut sys = System::new(4, GcConfig::default(), NetConfig::default(), 42);
+
+    // The paper's Figure 3: {F,H,J}_P2 -> {Q,R,S}_P4 -> {O,M,K}_P3 ->
+    // {D,C,B}_P1 -> F_P2, held alive by a root on A_P1.
+    let fig = scenarios::fig3(&mut sys);
+    println!("built Figure 3: {} live objects", sys.total_live_objects());
+
+    // Run half a second of simulated time: local GCs, NewSetStubs and
+    // snapshots all happen, but the rooted cycle must survive.
+    sys.run_for(SimDuration::from_millis(500));
+    println!(
+        "t={:>6}: rooted cycle survives  (live={}, detections started={})",
+        sys.clock(),
+        sys.total_live_objects(),
+        sys.metrics.detections_started
+    );
+
+    // Drop the root: the cycle is now distributed garbage that reference
+    // listing alone can never reclaim.
+    sys.remove_root(fig.a).unwrap();
+    println!("root dropped; cycle is now garbage");
+
+    // Keep running: a candidate scan picks F_P2's scion, a CDM walks
+    // P2 -> P4 -> P3 -> P1 -> P2, the algebra cancels, the scion dies, and
+    // the acyclic DGC unravels the ring.
+    let mut t = 0;
+    while sys.total_live_objects() > 0 {
+        sys.run_for(SimDuration::from_millis(100));
+        t += 100;
+        assert!(t < 60_000, "should collect within a minute of sim time");
+    }
+    println!(
+        "t={:>6}: cycle fully reclaimed (cycles detected={}, CDMs sent={})",
+        sys.clock(),
+        sys.metrics.cycles_detected,
+        sys.metrics.cdms_sent
+    );
+
+    // The oracle agrees, and the collector never touched anything live.
+    assert_eq!(sys.metrics.safety_violations(), 0);
+    sys.check_invariants().unwrap();
+    println!("safety violations: 0 — done.");
+}

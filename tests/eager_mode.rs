@@ -1,0 +1,93 @@
+//! End-to-end coverage for the eager-combine extension
+//! (`GcConfig::eager_combine`): same verdicts as per-branch mode on the
+//! paper scenarios, plus the dense-clump case that motivates it.
+
+use acdgc::model::{GcConfig, NetConfig, ObjId, ProcId, SimDuration};
+use acdgc::sim::{scenarios, System};
+
+fn eager_manual() -> GcConfig {
+    GcConfig {
+        eager_combine: true,
+        ..GcConfig::manual()
+    }
+}
+
+#[test]
+fn fig3_collects_under_eager_mode() {
+    let mut sys = System::new(4, eager_manual(), NetConfig::instant(), 90);
+    let fig = scenarios::fig3(&mut sys);
+    sys.remove_root(fig.a).unwrap();
+    let rounds = sys.collect_to_fixpoint(20);
+    assert_eq!(sys.total_live_objects(), 0, "rounds={rounds} {:?}", sys.metrics);
+    assert_eq!(sys.metrics.safety_violations(), 0);
+}
+
+#[test]
+fn fig4_collects_under_eager_mode() {
+    let mut sys = System::new(6, eager_manual(), NetConfig::instant(), 91);
+    let _fig = scenarios::fig4(&mut sys);
+    let rounds = sys.collect_to_fixpoint(25);
+    assert_eq!(sys.total_live_objects(), 0, "rounds={rounds} {:?}", sys.metrics);
+    assert_eq!(sys.metrics.safety_violations(), 0);
+}
+
+#[test]
+fn fig1_dependency_still_blocks_under_eager_mode() {
+    let mut sys = System::new(4, eager_manual(), NetConfig::instant(), 92);
+    let fig = scenarios::fig1(&mut sys);
+    sys.collect_to_fixpoint(10);
+    assert_eq!(sys.total_live_objects(), 4, "{:?}", sys.metrics);
+    assert_eq!(sys.metrics.cycles_detected, 0);
+    sys.remove_root(fig.w).unwrap();
+    sys.collect_to_fixpoint(20);
+    assert_eq!(sys.total_live_objects(), 0, "{:?}", sys.metrics);
+    assert_eq!(sys.metrics.safety_violations(), 0);
+}
+
+#[test]
+fn periodic_eager_mode_collects_ring() {
+    let cfg = GcConfig {
+        eager_combine: true,
+        ..GcConfig::default()
+    };
+    let mut sys = System::new(4, cfg, NetConfig::default(), 93);
+    let procs: Vec<ProcId> = (0..4).map(ProcId).collect();
+    let ring = scenarios::ring(&mut sys, &procs, 2, true);
+    sys.run_for(SimDuration::from_millis(500));
+    assert_eq!(sys.total_live_objects(), 9);
+    sys.remove_root(ring.anchor.unwrap()).unwrap();
+    sys.run_for(SimDuration::from_millis(4_000));
+    assert_eq!(sys.total_live_objects(), 0, "{:?}", sys.metrics);
+    assert_eq!(sys.metrics.safety_violations(), 0);
+}
+
+#[test]
+fn dense_complete_clump_collected_only_with_reasonable_budget() {
+    // Complete remote digraph over 4 processes x 2 objects: per-branch
+    // mode churns factorially here; eager mode settles it.
+    let mut sys = System::new(4, eager_manual(), NetConfig::instant(), 94);
+    let all: Vec<ObjId> = (0..4)
+        .flat_map(|p| (0..2).map(|_| sys.alloc(ProcId(p), 1)).collect::<Vec<_>>())
+        .collect();
+    for &a in &all {
+        for &b in &all {
+            if a.proc != b.proc {
+                sys.create_remote_ref(a, b).unwrap();
+            }
+        }
+    }
+    assert!(sys.oracle_live().is_empty());
+    let rounds = sys.collect_to_fixpoint(20);
+    assert_eq!(
+        sys.total_live_objects(),
+        0,
+        "rounds={rounds} cdms={} {:?}",
+        sys.metrics.cdms_sent,
+        sys.metrics
+    );
+    assert!(
+        sys.metrics.cdms_sent < 20_000,
+        "bounded traffic: {}",
+        sys.metrics.cdms_sent
+    );
+}

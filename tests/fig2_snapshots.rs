@@ -1,0 +1,130 @@
+//! F2 — Figure 2, "DCDA of independent snapshots": independently-taken
+//! snapshots do not form a consistent cut. The scripted interleaving of
+//! Fig. 2-b — detection starts on old snapshots of P2/P3, then the mutator
+//! invokes along `x → y`, re-roots `y` in P2 and un-roots `x` in P1, and
+//! only *then* P1 snapshots — must NOT produce the false cycle of
+//! Fig. 2-c. The invocation counters are the barrier.
+
+use acdgc::model::{GcConfig, NetConfig, ProcId, SimDuration};
+use acdgc::sim::{scenarios, InvokeSpec, System};
+
+fn prepared() -> (System, scenarios::Fig2) {
+    let mut sys = System::new(3, GcConfig::manual(), NetConfig::instant(), 8);
+    let fig = scenarios::fig2(&mut sys);
+    sys.advance(SimDuration::from_millis(1));
+    (sys, fig)
+}
+
+#[test]
+fn interleaved_snapshots_do_not_fool_the_detector() {
+    // A fixed 10 ms hop latency lets the mutator act while the CDM is in
+    // flight, exactly the Fig. 2-b timeline.
+    let net = NetConfig {
+        min_latency: SimDuration::from_millis(10),
+        max_latency: SimDuration::from_millis(10),
+        ..NetConfig::default()
+    };
+    let mut sys = System::new(3, GcConfig::manual(), net, 8);
+    let fig = scenarios::fig2(&mut sys);
+    let (p1, p2, p3) = (ProcId(0), ProcId(1), ProcId(2));
+    sys.advance(SimDuration::from_millis(1));
+
+    // S2 and S3 are taken first (Fig. 2-b: S2, S3 before the invocation).
+    sys.take_snapshot(p2);
+    sys.take_snapshot(p3);
+
+    // The DCDA starts in P2 by sending a CDM to P3; it will arrive at
+    // t≈11ms and its derivation at P1 at t≈21ms.
+    sys.initiate_detection(p2, fig.r_xy);
+    assert_eq!(sys.messages_in_flight(), 1, "CDM to P3 in flight");
+
+    // Mutator: P1 invokes y in P2 (bumping r_xy's counters on both ends);
+    // the invocation roots y in P2 and P1 drops its root on x.
+    sys.invoke(p1, fig.r_xy, InvokeSpec::oneway()).unwrap();
+    sys.run_until(acdgc::model::SimTime::from_millis(15));
+    assert_eq!(sys.metrics.invocations, 1);
+    sys.add_root(fig.y).unwrap();
+    sys.remove_root(fig.x).unwrap();
+
+    // Instant S1 (Fig. 2-b): P1 snapshots *after* the mutation, while the
+    // CDM derivation is still on its way; its stub for r_xy now carries
+    // IC = 1 whereas the detection was built against P2's IC = 0 snapshot.
+    sys.take_snapshot(p1);
+
+    // Let the detection complete: P3 -> P1 -> back to P2.
+    sys.drain_network();
+
+    // The false cycle of Fig. 2-c must not be detected.
+    assert_eq!(sys.metrics.cycles_detected, 0, "{:?}", sys.metrics);
+    assert_eq!(sys.metrics.scions_deleted_by_dcda, 0);
+    assert_eq!(sys.metrics.safety_violations(), 0);
+    // The abort happened through the counter barrier.
+    assert!(
+        sys.metrics.detections_aborted_ic >= 1,
+        "IC mismatch must abort the detection: {:?}",
+        sys.metrics
+    );
+
+    // Reality check (Fig. 2-d): the cycle is still live through y's root.
+    let live = sys.oracle_live();
+    assert!(live.contains(&fig.x) && live.contains(&fig.y) && live.contains(&fig.z));
+    sys.collect_to_fixpoint(10);
+    assert_eq!(sys.total_live_objects(), 3, "nothing was reclaimed");
+}
+
+#[test]
+fn without_interleaving_the_same_cycle_is_eventually_collected() {
+    // Control run: the same graph, but the root is dropped entirely and
+    // snapshots are taken afterwards — now it IS garbage and must go.
+    let (mut sys, fig) = prepared();
+    sys.remove_root(fig.x).unwrap();
+    let rounds = sys.collect_to_fixpoint(15);
+    assert_eq!(
+        sys.total_live_objects(),
+        0,
+        "garbage 3-cycle collected in {rounds} rounds; {:?}",
+        sys.metrics
+    );
+    assert_eq!(sys.metrics.safety_violations(), 0);
+}
+
+#[test]
+fn stale_summary_candidate_is_filtered_after_reroot() {
+    // After the mutation, P2's own fresh summary shows y locally
+    // reachable: r_xy is no longer even a candidate.
+    let (mut sys, fig) = prepared();
+    let p2 = ProcId(1);
+    sys.invoke(ProcId(0), fig.r_xy, InvokeSpec::oneway()).unwrap();
+    sys.drain_network();
+    sys.add_root(fig.y).unwrap();
+    sys.remove_root(fig.x).unwrap();
+    sys.advance(SimDuration::from_millis(1));
+    sys.take_snapshot(p2);
+    let before = sys.metrics.detections_started;
+    sys.run_scan(p2);
+    assert_eq!(
+        sys.metrics.detections_started, before,
+        "locally-reachable target is not a candidate"
+    );
+}
+
+#[test]
+fn rule_one_discards_cdm_for_unknown_scion() {
+    // A CDM addressed at a scion created after the receiving process's
+    // snapshot must be dropped (§2.2 rule 1 / §3.2 "CDM delivered to a
+    // scion that is not yet inscribed in the summarized graph").
+    let (mut sys, fig) = prepared();
+    let (p2, p3) = (ProcId(1), ProcId(2));
+    // P3 has never snapshot: its summary is empty.
+    sys.take_snapshot(p2);
+    sys.remove_root(fig.x).unwrap();
+    sys.initiate_detection(p2, fig.r_xy);
+    sys.drain_network();
+    assert_eq!(
+        sys.metrics.detections_dropped_no_scion, 1,
+        "CDM delivered at P3 against an empty summary is discarded: {:?}",
+        sys.metrics
+    );
+    assert_eq!(sys.metrics.cycles_detected, 0);
+    let _ = p3;
+}

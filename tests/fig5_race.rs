@@ -1,0 +1,177 @@
+//! F5 — Figure 5 / §3.2.1, "A mutator-cycle detection race": while a
+//! detection crawls the cycle, the mutator — initiating from P1 — runs a
+//! chain of invocations that ends with a reference to `J_P2` exported to
+//! P3, then erases P1's root. The cycle is still live (through P3), but a
+//! post-mutation snapshot at P1 shows `Local.Reach(B→F) = false`, so the
+//! crawl would complete — except the invocation counters on `F_P2`
+//! disagree (`x` in the CDM vs `x+1` in P1's new summary) and the
+//! detection aborts (§3.2.1 step 8).
+//!
+//! Ablation A1 runs the same interleaving with the barrier disabled and
+//! demonstrates the unsafe reclamation the counters prevent.
+
+use acdgc::model::{GcConfig, NetConfig, ProcId, RefId, SimDuration, SimTime};
+use acdgc::sim::{scenarios, InvokeSpec, System};
+
+/// Process indices of the scenario: P0≙P1, P1≙P2, P2≙P5, P3≙P4, P4≙P3.
+const P1: ProcId = ProcId(0);
+const P2: ProcId = ProcId(1);
+
+fn slow_net() -> NetConfig {
+    NetConfig {
+        min_latency: SimDuration::from_millis(10),
+        max_latency: SimDuration::from_millis(10),
+        ..NetConfig::default()
+    }
+}
+
+/// Run the §3.2.1 interleaving. Returns the system afterwards.
+fn run_race(cfg: GcConfig) -> System {
+    let mut sys = System::new(5, cfg, slow_net(), 13);
+    let fig = scenarios::fig5(&mut sys);
+    sys.advance(SimDuration::from_millis(1));
+
+    // "Updated graph summarized information, in every process, available
+    // before event 1 and event i": B rooted ⇒ Local.Reach(B→F) = true.
+    for p in 0..5 {
+        sys.take_snapshot(ProcId(p as u16));
+    }
+
+    // Event i: detection starts at P2 from F's scion; the CDM crawls
+    // P2 → P5 → P4 → P1 at 10 ms per hop (arrives at P1 ≈ t31).
+    sys.initiate_detection(P2, fig.r_bf);
+
+    // Events 1..11: the chain. First P1 invokes F through the raced
+    // reference — IC(F_P2): x → x+1 — handing F a reference to M3.
+    sys.invoke(
+        P1,
+        fig.r_bf,
+        InvokeSpec {
+            exports: vec![fig.m3],
+            ..InvokeSpec::default()
+        },
+    )
+    .unwrap();
+    sys.run_until(SimTime::from_millis(12));
+    // F now holds a fresh stub to M3; find it.
+    let r_fm3: RefId = sys
+        .proc(P2)
+        .heap
+        .get(fig.f)
+        .unwrap()
+        .remote_refs()
+        .find(|&r| r != fig.r_bf)
+        .expect("F imported a reference to M3");
+    // Second leg: P2 invokes M3 through it, exporting J. M3 now reaches
+    // the whole cycle: M3 → J → V → T → D → B → F.
+    sys.invoke(
+        P2,
+        r_fm3,
+        InvokeSpec {
+            exports: vec![fig.j],
+            ..InvokeSpec::default()
+        },
+    )
+    .unwrap();
+    sys.run_until(SimTime::from_millis(24));
+
+    // Event 11: root erasure at P1.
+    sys.remove_root(fig.b).unwrap();
+
+    // "11 ≺ t ≺ iii": P1 snapshots AFTER the mutation, BEFORE the CDM
+    // arrives: Local.Reach(B→F) = false, IC(B→F) = x+1.
+    sys.take_snapshot(P1);
+    assert!(sys.clock() < SimTime::from_millis(31), "CDM still in flight");
+
+    // Events iii, iv: the CDM reaches P1, combines with the new summary,
+    // and is forwarded to P2 where matching sees {F,x} vs {F,x+1}.
+    sys.drain_network();
+    sys
+}
+
+#[test]
+fn scenario_sanity_cycle_live_through_p3_after_race() {
+    let sys = run_race(GcConfig::manual());
+    // The oracle agrees with Fig. 5: everything is still reachable via M3.
+    assert_eq!(
+        sys.oracle_live().len(),
+        7,
+        "M3 holds the entire cycle globally reachable"
+    );
+}
+
+#[test]
+fn ic_barrier_aborts_the_raced_detection() {
+    let sys = run_race(GcConfig::manual());
+    assert_eq!(
+        sys.metrics.cycles_detected, 0,
+        "no false cycle: {:?}",
+        sys.metrics
+    );
+    assert!(
+        sys.metrics.detections_aborted_ic >= 1,
+        "§3.2.1 step 8: different IC values (x and x+1) for F_P2 cause \
+         detection abort: {:?}",
+        sys.metrics
+    );
+    assert_eq!(sys.metrics.safety_violations(), 0);
+}
+
+#[test]
+fn ablation_a1_barrier_off_is_unsafe() {
+    // The same interleaving with the barrier disabled: the detector
+    // completes the stale CDM-Graph and wrongly deletes F's scion even
+    // though F is reachable from M3 through the ring. The oracle counts
+    // the violation — the unsafety the paper's counters exist to prevent.
+    let cfg = GcConfig {
+        ic_barrier: false,
+        ic_check_on_delivery: false,
+        ..GcConfig::manual()
+    };
+    let sys = run_race(cfg);
+    assert!(
+        sys.metrics.cycles_detected >= 1,
+        "barrier off: the false cycle IS concluded: {:?}",
+        sys.metrics
+    );
+    assert!(
+        sys.metrics.unsafe_scion_deletes >= 1,
+        "oracle flags the unsafe deletion: {:?}",
+        sys.metrics
+    );
+}
+
+#[test]
+fn after_abort_collection_converges_to_oracle_truth() {
+    let mut sys = run_race(GcConfig::manual());
+    let oracle_live = sys.oracle_live().len();
+    sys.collect_to_fixpoint(20);
+    assert_eq!(
+        sys.total_live_objects(),
+        oracle_live,
+        "fresh snapshots converge to the truth: {:?}",
+        sys.metrics
+    );
+    assert_eq!(sys.metrics.safety_violations(), 0);
+    sys.check_invariants().unwrap();
+}
+
+#[test]
+fn dropping_p3s_reference_later_lets_the_cycle_die() {
+    let mut sys = run_race(GcConfig::manual());
+    let fig_m3_proc = ProcId(4);
+    // Remove M3's root: now the cycle really is garbage.
+    let m3 = sys
+        .procs()
+        .iter()
+        .find(|p| p.proc() == fig_m3_proc)
+        .and_then(|p| {
+            let roots: Vec<_> = p.heap.roots().collect();
+            roots.first().and_then(|&slot| p.heap.id_of_slot(slot))
+        })
+        .expect("M3 is rooted");
+    sys.remove_root(m3).unwrap();
+    sys.collect_to_fixpoint(25);
+    assert_eq!(sys.total_live_objects(), 0, "{:?}", sys.metrics);
+    assert_eq!(sys.metrics.safety_violations(), 0);
+}

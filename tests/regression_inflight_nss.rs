@@ -1,0 +1,60 @@
+//! Regression: in-flight reference re-establishment vs `NewSetStubs`.
+//!
+//! Found by the dynamic property test (seed 687270): a reference's stub
+//! dies, the reference is then re-exported, and a `NewSetStubs` built
+//! *while the re-export was in flight* (so it could not know the new
+//! stub) arrives after the import completes — without the
+//! import-completion horizon refresh it deletes the now-live scion, and a
+//! later LGC frees a reachable object. The fix refreshes the scion's
+//! creation horizon when the import lands (plus incarnation guards on
+//! verdict deletions). This test replays the exact failing schedule.
+use acdgc::model::rng::component_rng;
+use acdgc::model::{GcConfig, NetConfig, SimDuration};
+use acdgc::sim::workload::{MutatorConfig, RandomMutator};
+use acdgc::sim::System;
+
+#[test]
+fn inflight_reexport_survives_stale_newsetstubs() {
+    let seed = 687270u64;
+    let net = NetConfig {
+        min_latency: SimDuration::from_micros(100),
+        max_latency: SimDuration::from_micros(2_000),
+        gc_drop_probability: 0.39864056530854025,
+        gc_duplicate_probability: 0.1,
+    };
+    let mut sys = System::new(4, GcConfig::default(), net, seed);
+    let mut rng = component_rng(seed, "prop-dynamic");
+    let mut mutator = RandomMutator::new(MutatorConfig::default());
+    for i in 0..50 {
+        mutator.step(&mut sys, &mut rng);
+        if i % 10 == 9 {
+            sys.run_for(SimDuration::from_millis(30));
+        }
+        if sys.metrics.safety_violations() > 0 {
+            panic!(
+                "violation after op {i}: unsafe_frees={} unsafe_deletes={} cycles={} {:?}",
+                sys.metrics.unsafe_frees,
+                sys.metrics.unsafe_scion_deletes,
+                sys.metrics.cycles_detected,
+                sys.metrics
+            );
+        }
+    }
+    sys.drain_network();
+    println!("after ops: violations={}", sys.metrics.safety_violations());
+    sys.config_mut().candidate_age = SimDuration::ZERO;
+    sys.config_mut().candidate_backoff = SimDuration::ZERO;
+    sys.config_mut().eager_combine = true;
+    for round in 0..40 {
+        sys.gc_round();
+        if sys.metrics.safety_violations() > 0 {
+            panic!(
+                "violation in quiesce round {round}: unsafe_frees={} unsafe_deletes={} cycles={}",
+                sys.metrics.unsafe_frees,
+                sys.metrics.unsafe_scion_deletes,
+                sys.metrics.cycles_detected,
+            );
+        }
+    }
+    assert_eq!(sys.total_live_objects(), sys.oracle_live().len());
+}
