@@ -15,9 +15,9 @@
 //! * every process visited must hold the trace's visited marks until the
 //!   trace completes (`peak_state_entries`).
 
-use acdgc_snapshot::{summarize, SummarizedGraph};
-use acdgc_sim::System;
 use acdgc_model::{ProcId, RefId};
+use acdgc_sim::System;
+use acdgc_snapshot::{summarize, SummarizedGraph};
 use rustc_hash::FxHashSet;
 
 /// Outcome of back-tracing one suspect.
@@ -122,7 +122,10 @@ impl Backtracer {
             .iter()
             .flat_map(|p| {
                 let owner = p.proc();
-                p.tables.scions().map(move |s| (owner, s.ref_id)).collect::<Vec<_>>()
+                p.tables
+                    .scions()
+                    .map(move |s| (owner, s.ref_id))
+                    .collect::<Vec<_>>()
             })
             .collect();
         let mut merged = BacktraceReport::default();
@@ -152,8 +155,8 @@ impl Backtracer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use acdgc_sim::scenarios;
     use acdgc_model::{GcConfig, NetConfig};
+    use acdgc_sim::scenarios;
 
     fn system(n: usize) -> System {
         System::new(n, GcConfig::manual(), NetConfig::instant(), 23)

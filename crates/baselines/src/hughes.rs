@@ -19,8 +19,8 @@
 //! barrier.
 
 use acdgc_heap::lgc::closure;
-use acdgc_sim::System;
 use acdgc_model::{ProcId, RefId};
+use acdgc_sim::System;
 use rustc_hash::FxHashMap;
 
 /// Outcome of a Hughes collection run.
@@ -92,10 +92,7 @@ impl HughesCollector {
             }
             // Scions propagate their stamps.
             for scion in tables.scions() {
-                let stamp = *self
-                    .scion_stamp
-                    .entry(scion.ref_id)
-                    .or_insert(self.epoch);
+                let stamp = *self.scion_stamp.entry(scion.ref_id).or_insert(self.epoch);
                 let reach = closure(heap, [scion.target.slot]);
                 for &stub in &reach.stubs {
                     let entry = new_stub_stamp.entry(stub).or_insert(0);
@@ -167,12 +164,10 @@ impl HughesCollector {
                 sys.run_lgc(ProcId(p as u16));
             }
             sys.drain_network();
-            if sys.total_live_objects() == sys.oracle_live().len() && sys.total_scions() == 0
-            {
+            if sys.total_live_objects() == sys.oracle_live().len() && sys.total_scions() == 0 {
                 break;
             }
-            if sys.total_live_objects() == sys.oracle_live().len()
-                && self.epoch > self.diameter + 2
+            if sys.total_live_objects() == sys.oracle_live().len() && self.epoch > self.diameter + 2
             {
                 break;
             }
@@ -185,8 +180,8 @@ impl HughesCollector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use acdgc_sim::scenarios;
     use acdgc_model::{GcConfig, NetConfig};
+    use acdgc_sim::scenarios;
 
     fn system(n: usize) -> System {
         System::new(n, GcConfig::manual(), NetConfig::instant(), 17)

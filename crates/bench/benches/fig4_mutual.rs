@@ -4,8 +4,8 @@
 //! number of distinct references, not exponential in the sharing.
 
 use acdgc_bench::{bench_system, prepared_fig4, run_detection};
-use acdgc_sim::scenarios;
 use acdgc_model::{ProcId, RefId, SimDuration};
+use acdgc_sim::scenarios;
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 
 /// K garbage rings over the same processes, cross-linked head-to-head so
@@ -19,7 +19,8 @@ fn linked_rings(k: usize, procs: usize, seed: u64) -> (acdgc_sim::System, ProcId
         .collect();
     for pair in rings.windows(2) {
         // Link head of ring i to head of ring i+1 (same process, local).
-        sys.add_local_ref(pair[0].heads[0], pair[1].heads[0]).unwrap();
+        sys.add_local_ref(pair[0].heads[0], pair[1].heads[0])
+            .unwrap();
     }
     sys.advance(SimDuration::from_millis(1));
     for p in 0..procs {
@@ -42,20 +43,16 @@ fn bench_fig4(c: &mut Criterion) {
         );
     });
     for &k in &[1usize, 2, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("linked_rings_detect", k),
-            &k,
-            |b, &k| {
-                b.iter_batched(
-                    || linked_rings(k, 4, 29),
-                    |(mut sys, proc, scion)| {
-                        run_detection(&mut sys, proc, scion);
-                        sys
-                    },
-                    BatchSize::SmallInput,
-                );
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("linked_rings_detect", k), &k, |b, &k| {
+            b.iter_batched(
+                || linked_rings(k, 4, 29),
+                |(mut sys, proc, scion)| {
+                    run_detection(&mut sys, proc, scion);
+                    sys
+                },
+                BatchSize::SmallInput,
+            );
+        });
     }
     group.finish();
 }

@@ -3,8 +3,8 @@
 //! breaks collection; it only stretches the time to reclamation (more
 //! rounds of regenerated protocol traffic).
 
-use acdgc_sim::{scenarios, System};
 use acdgc_model::{GcConfig, NetConfig, SimDuration};
+use acdgc_sim::{scenarios, System};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn collect_under_loss(drop: f64, seed: u64) -> u64 {

@@ -9,8 +9,8 @@
 //! object".
 
 use acdgc_bench::serialization_heap;
-use acdgc_snapshot::{capture, CompactCodec, SnapshotCodec, VerboseCodec};
 use acdgc_model::SimTime;
+use acdgc_snapshot::{capture, CompactCodec, SnapshotCodec, VerboseCodec};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
@@ -22,7 +22,11 @@ fn bench_encode(c: &mut Criterion) {
     for &with_stubs in &[false, true] {
         let (heap, tables) = serialization_heap(N, with_stubs);
         let snap = capture(&heap, &tables, SimTime(0));
-        let label = if with_stubs { "10k_objs_10k_stubs" } else { "10k_objs" };
+        let label = if with_stubs {
+            "10k_objs_10k_stubs"
+        } else {
+            "10k_objs"
+        };
         group.throughput(Throughput::Elements(N as u64));
         group.bench_with_input(
             BenchmarkId::new("verbose_rotor_like", label),

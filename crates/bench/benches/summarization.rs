@@ -4,9 +4,9 @@
 
 use acdgc_bench::serialization_heap;
 use acdgc_heap::{Heap, HeapRef};
-use acdgc_remoting::RemotingTables;
-use acdgc_snapshot::{summarize, IncrementalSummarizer};
 use acdgc_model::{ObjId, ProcId, RefId, SimTime};
+use acdgc_remoting::RemotingTables;
+use acdgc_snapshot::{summarize, IncrementalSummarizer, SccEngine};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
@@ -32,17 +32,45 @@ fn scion_heavy_heap(n: usize, s: usize) -> (Heap, RemotingTables) {
     (heap, tables)
 }
 
+/// The per-scion formulation's worst case: `s` scion-targeted entry
+/// objects all feeding one shared chain of `n - s` objects that ends in a
+/// spread of stubs. Every one of the `s` reference BFS passes re-walks the
+/// whole shared chain (O(s·n) object visits); the SCC engine walks it
+/// once.
+fn converging_scion_heap(n: usize, s: usize) -> (Heap, RemotingTables) {
+    let proc = ProcId(0);
+    let mut heap = Heap::new(proc);
+    let mut tables = RemotingTables::new(proc);
+    let shared: Vec<ObjId> = (0..n.saturating_sub(s).max(1))
+        .map(|_| heap.alloc(1))
+        .collect();
+    for pair in shared.windows(2) {
+        heap.add_ref(pair[0], HeapRef::Local(pair[1].slot)).unwrap();
+    }
+    let stubs = 64.min(shared.len());
+    for i in 0..stubs {
+        let r = RefId((s + i) as u64);
+        tables.add_stub(r, ObjId::new(ProcId(1), i as u32, 0), SimTime(0));
+        heap.add_ref(shared[shared.len() - 1 - i], HeapRef::Remote(r))
+            .unwrap();
+    }
+    for i in 0..s {
+        let entry = heap.alloc(1);
+        heap.add_ref(entry, HeapRef::Local(shared[0].slot)).unwrap();
+        tables.add_scion(RefId(i as u64), entry, ProcId(1), SimTime(0));
+    }
+    (heap, tables)
+}
+
 fn bench_summarize(c: &mut Criterion) {
     let mut group = c.benchmark_group("summarization");
     group.sample_size(10);
     for &n in &[1_000usize, 10_000] {
         let (heap, tables) = serialization_heap(n, true);
         group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(
-            BenchmarkId::new("chain_with_stubs", n),
-            &n,
-            |b, _| b.iter(|| black_box(summarize(&heap, &tables, 1, SimTime(0)))),
-        );
+        group.bench_with_input(BenchmarkId::new("chain_with_stubs", n), &n, |b, _| {
+            b.iter(|| black_box(summarize(&heap, &tables, 1, SimTime(0))))
+        });
     }
     for &scions in &[1usize, 10, 100] {
         let (heap, tables) = scion_heavy_heap(10_000, scions);
@@ -69,6 +97,28 @@ fn bench_summarize(c: &mut Criterion) {
                 })
             },
         );
+    }
+    // Engine vs reference on the scion-heavy topologies that motivate the
+    // SCC engine (acceptance target: engine ≥5× faster at n=10_000,
+    // s=n/10 on the converging topology). The disjoint-chain comparison
+    // isolates the reference's per-scion setup overhead; the converging
+    // one exercises its O(s·(V+E)) re-traversal.
+    for &(n, s) in &[(10_000usize, 1_000usize), (10_000, 100)] {
+        let disjoint = scion_heavy_heap(n, s);
+        let converging = converging_scion_heap(n, s);
+        for (label, (heap, tables)) in [("disjoint", &disjoint), ("converging", &converging)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("reference_{label}"), format!("{n}x{s}")),
+                &s,
+                |b, _| b.iter(|| black_box(summarize(heap, tables, 1, SimTime(0)))),
+            );
+            let mut engine = SccEngine::new();
+            group.bench_with_input(
+                BenchmarkId::new(format!("engine_{label}"), format!("{n}x{s}")),
+                &s,
+                |b, _| b.iter(|| black_box(engine.summarize(heap, tables, 1, SimTime(0)))),
+            );
+        }
     }
     group.finish();
 }

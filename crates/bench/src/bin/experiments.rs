@@ -9,14 +9,11 @@
 
 use acdgc_baselines::{Backtracer, HughesCollector};
 use acdgc_bench::{
-    prepared_fig4, prepared_ring, run_detection, run_table1_workload,
-    serialization_heap,
+    prepared_fig4, prepared_ring, run_detection, run_table1_workload, serialization_heap,
 };
+use acdgc_model::{GcConfig, IntegrationMode, NetConfig, ProcId, SimDuration, SimTime};
 use acdgc_sim::{scenarios, InvokeSpec, System};
 use acdgc_snapshot::{capture, CompactCodec, SnapshotCodec, VerboseCodec};
-use acdgc_model::{
-    GcConfig, IntegrationMode, NetConfig, ProcId, SimDuration, SimTime,
-};
 use serde_json::{json, Value};
 use std::time::Instant;
 
@@ -70,7 +67,10 @@ fn header(id: &str, title: &str) {
 // -------------------------------------------------------------------------
 fn t1() -> Value {
     header("T1", "Table 1 — RMI cost, plain remoting vs DGC-extended");
-    println!("{:>12} {:>14} {:>14} {:>10}", "# RMI calls", "plain", "with DGC", "variation");
+    println!(
+        "{:>12} {:>14} {:>14} {:>10}",
+        "# RMI calls", "plain", "with DGC", "variation"
+    );
     let mut rows = Vec::new();
     for &calls in &[10usize, 100, 500, 1000] {
         // Repeat to stabilize; keep the median-ish middle measurement.
@@ -88,9 +88,7 @@ fn t1() -> Value {
         let plain = time_of(false);
         let with_dgc = time_of(true);
         let variation = (with_dgc - plain) / plain * 100.0;
-        println!(
-            "{calls:>12} {plain:>12.2}ms {with_dgc:>12.2}ms {variation:>+9.2}%"
-        );
+        println!("{calls:>12} {plain:>12.2}ms {with_dgc:>12.2}ms {variation:>+9.2}%");
         rows.push(json!({
             "calls": calls,
             "plain_ms": plain,
@@ -106,7 +104,10 @@ fn t1() -> Value {
 // S1 — §4 serialization experiment.
 // -------------------------------------------------------------------------
 fn s1() -> Value {
-    header("S1", "§4 snapshot serialization — Rotor-like vs production-like codec");
+    header(
+        "S1",
+        "§4 snapshot serialization — Rotor-like vs production-like codec",
+    );
     let measure = |with_stubs: bool| -> (f64, f64, usize, usize) {
         let (heap, tables) = serialization_heap(10_000, with_stubs);
         let snap = capture(&heap, &tables, SimTime(0));
@@ -120,7 +121,10 @@ fn s1() -> Value {
     };
     let (v0, c0, vb0, cb0) = measure(false);
     let (v1, c1, vb1, cb1) = measure(true);
-    println!("{:<26} {:>12} {:>12} {:>9}", "workload", "verbose", "compact", "ratio");
+    println!(
+        "{:<26} {:>12} {:>12} {:>9}",
+        "workload", "verbose", "compact", "ratio"
+    );
     println!(
         "{:<26} {v0:>10.2}ms {c0:>10.2}ms {:>8.1}x",
         "10k dummy objects",
@@ -150,7 +154,10 @@ fn s1() -> Value {
 // F1 — Figure 1: extra converging dependency.
 // -------------------------------------------------------------------------
 fn f1() -> Value {
-    header("F1", "Figure 1 — converging dependency blocks collection until it dies");
+    header(
+        "F1",
+        "Figure 1 — converging dependency blocks collection until it dies",
+    );
     let mut sys = System::new(4, GcConfig::manual(), NetConfig::instant(), 4);
     let fig = scenarios::fig1(&mut sys);
     sys.collect_to_fixpoint(10);
@@ -159,9 +166,14 @@ fn f1() -> Value {
     sys.remove_root(fig.w).unwrap();
     let rounds = sys.collect_to_fixpoint(20);
     let live_after = sys.total_live_objects();
-    println!("with live dependency w->x : live={live_with_dep}, cycles detected={detected_with_dep}");
+    println!(
+        "with live dependency w->x : live={live_with_dep}, cycles detected={detected_with_dep}"
+    );
     println!("after w dies              : live={live_after} (reclaimed in {rounds} rounds)");
-    println!("safety violations          : {}", sys.metrics.safety_violations());
+    println!(
+        "safety violations          : {}",
+        sys.metrics.safety_violations()
+    );
     json!({
         "live_with_dependency": live_with_dep,
         "cycles_detected_with_dependency": detected_with_dep,
@@ -174,7 +186,10 @@ fn f1() -> Value {
 // F2 — Figure 2: inconsistent independent snapshots.
 // -------------------------------------------------------------------------
 fn f2() -> Value {
-    header("F2", "Figure 2 — snapshot race; counters must abort the detection");
+    header(
+        "F2",
+        "Figure 2 — snapshot race; counters must abort the detection",
+    );
     let net = NetConfig {
         min_latency: SimDuration::from_millis(10),
         max_latency: SimDuration::from_millis(10),
@@ -186,7 +201,8 @@ fn f2() -> Value {
     sys.take_snapshot(ProcId(1));
     sys.take_snapshot(ProcId(2));
     sys.initiate_detection(ProcId(1), fig.r_xy);
-    sys.invoke(ProcId(0), fig.r_xy, InvokeSpec::oneway()).unwrap();
+    sys.invoke(ProcId(0), fig.r_xy, InvokeSpec::oneway())
+        .unwrap();
     sys.run_until(SimTime::from_millis(15));
     sys.add_root(fig.y).unwrap();
     sys.remove_root(fig.x).unwrap();
@@ -232,7 +248,10 @@ fn f3() -> Value {
     );
     println!("cycles found               : {}", walk.cycles_detected);
     println!("max CDM size               : {} bytes", walk.max_cdm_bytes);
-    println!("unravel rounds (acyclic)   : {rounds}; final live objects: {}", sys.total_live_objects());
+    println!(
+        "unravel rounds (acyclic)   : {rounds}; final live objects: {}",
+        sys.total_live_objects()
+    );
     json!({
         "cdm_messages": walk.cdms_sent,
         "cycles_detected": walk.cycles_detected,
@@ -259,7 +278,10 @@ fn f4() -> Value {
         walk.branches_no_new_info + walk.detections_terminated_no_new_info,
         walk.detections_dropped_no_scion,
     );
-    println!("final live objects         : {} after {rounds} rounds", sys.total_live_objects());
+    println!(
+        "final live objects         : {} after {rounds} rounds",
+        sys.total_live_objects()
+    );
     json!({
         "cycles_detected": found,
         "cdm_messages": walk.cdms_sent,
@@ -284,8 +306,15 @@ fn run_fig5_race(cfg: GcConfig) -> System {
         sys.take_snapshot(ProcId(p));
     }
     sys.initiate_detection(ProcId(1), fig.r_bf);
-    sys.invoke(ProcId(0), fig.r_bf, InvokeSpec { exports: vec![fig.m3], ..InvokeSpec::default() })
-        .unwrap();
+    sys.invoke(
+        ProcId(0),
+        fig.r_bf,
+        InvokeSpec {
+            exports: vec![fig.m3],
+            ..InvokeSpec::default()
+        },
+    )
+    .unwrap();
     sys.run_until(SimTime::from_millis(12));
     let r_fm3 = sys
         .proc(ProcId(1))
@@ -295,8 +324,15 @@ fn run_fig5_race(cfg: GcConfig) -> System {
         .remote_refs()
         .find(|&r| r != fig.r_bf)
         .unwrap();
-    sys.invoke(ProcId(1), r_fm3, InvokeSpec { exports: vec![fig.j], ..InvokeSpec::default() })
-        .unwrap();
+    sys.invoke(
+        ProcId(1),
+        r_fm3,
+        InvokeSpec {
+            exports: vec![fig.j],
+            ..InvokeSpec::default()
+        },
+    )
+    .unwrap();
     sys.run_until(SimTime::from_millis(24));
     sys.remove_root(fig.b).unwrap();
     sys.take_snapshot(ProcId(0));
@@ -321,7 +357,10 @@ fn f5() -> Value {
 }
 
 fn a1() -> Value {
-    header("A1", "ablation — IC barrier disabled on the Figure 5 race (UNSAFE)");
+    header(
+        "A1",
+        "ablation — IC barrier disabled on the Figure 5 race (UNSAFE)",
+    );
     let cfg = GcConfig {
         ic_barrier: false,
         ic_check_on_delivery: false,
@@ -394,8 +433,14 @@ fn a2() -> Value {
 // A3 — message-loss sweep.
 // -------------------------------------------------------------------------
 fn a3() -> Value {
-    header("A3", "ablation — GC-message loss sweep (completeness retained)");
-    println!("{:>8} {:>18} {:>12}", "drop", "sim time to clean", "gc msgs");
+    header(
+        "A3",
+        "ablation — GC-message loss sweep (completeness retained)",
+    );
+    println!(
+        "{:>8} {:>18} {:>12}",
+        "drop", "sim time to clean", "gc msgs"
+    );
     let mut rows = Vec::new();
     for &drop in &[0.0f64, 0.1, 0.2, 0.3, 0.4, 0.5] {
         // Average over a few seeds (loss makes single runs noisy).
@@ -426,7 +471,10 @@ fn a3() -> Value {
 // A4 — candidate-age heuristic sweep.
 // -------------------------------------------------------------------------
 fn a4() -> Value {
-    header("A4", "ablation — candidate age threshold: wasted work vs latency");
+    header(
+        "A4",
+        "ablation — candidate age threshold: wasted work vs latency",
+    );
     println!(
         "{:>10} {:>12} {:>14} {:>18}",
         "age (ms)", "detections", "wasted", "reclaim latency"
@@ -472,7 +520,10 @@ fn a4() -> Value {
 // A5 — baseline comparison.
 // -------------------------------------------------------------------------
 fn a5() -> Value {
-    header("A5", "DCDA vs Hughes vs back-tracing — messages to reclaim one ring");
+    header(
+        "A5",
+        "DCDA vs Hughes vs back-tracing — messages to reclaim one ring",
+    );
     println!(
         "{:>6} {:>16} {:>22} {:>22}",
         "span", "DCDA cdm msgs", "Hughes msgs (rounds)", "backtrace msgs (depth)"
@@ -525,7 +576,10 @@ fn a5() -> Value {
 // A6 — integration modes (Rotor-like vs OBIWAN-like).
 // -------------------------------------------------------------------------
 fn a6() -> Value {
-    header("A6", "VmIntegrated (Rotor) vs WeakRefMonitor (OBIWAN) — reclamation lag");
+    header(
+        "A6",
+        "VmIntegrated (Rotor) vs WeakRefMonitor (OBIWAN) — reclamation lag",
+    );
     // The OBIWAN-style monitor runs every 100 ms here so its lag is
     // clearly separable from the LGC period (50 ms).
     // Average over several trials with varied drop instants so the result

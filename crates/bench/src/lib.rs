@@ -9,9 +9,9 @@
 //!   JSON consumed by EXPERIMENTS.md.
 
 use acdgc_heap::{Heap, HeapRef};
+use acdgc_model::{GcConfig, NetConfig, ObjId, ProcId, RefId, SimDuration};
 use acdgc_remoting::RemotingTables;
 use acdgc_sim::{scenarios, InvokeSpec, System};
-use acdgc_model::{GcConfig, NetConfig, ObjId, ProcId, RefId, SimDuration};
 
 /// A system tuned for measurement: manual GC phases, instant reliable
 /// network, oracle checks off (they are O(heap) per reclamation).

@@ -78,4 +78,4 @@ pub mod process;
 
 pub use algebra::{Cdm, Entry, MatchResult};
 pub use candidates::{select_candidates, CandidateState};
-pub use process::{deliver, initiate, Outcome, OutboundCdm, TerminateReason};
+pub use process::{deliver, initiate, OutboundCdm, Outcome, TerminateReason};

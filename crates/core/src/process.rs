@@ -84,12 +84,7 @@ impl Outcome {
 /// Initiate a detection from `scion` (a cycle candidate) against the
 /// current summary. Mirrors §3 steps 1–4: build `{{scion} → {}}`, then
 /// expand and forward.
-pub fn initiate(
-    summary: &SummarizedGraph,
-    cdm: Cdm,
-    scion: RefId,
-    cfg: &GcConfig,
-) -> Outcome {
+pub fn initiate(summary: &SummarizedGraph, cdm: Cdm, scion: RefId, cfg: &GcConfig) -> Outcome {
     debug_assert!(cdm.target.is_empty() && cdm.hops == 0, "fresh CDM expected");
     if summary.scion(scion).is_none() {
         return Outcome::DroppedNoScion;
@@ -106,12 +101,7 @@ pub fn initiate(
 
 /// Deliver a CDM that arrived along reference `scion` (it was forwarded
 /// through the matching stub by the previous process).
-pub fn deliver(
-    summary: &SummarizedGraph,
-    mut cdm: Cdm,
-    scion: RefId,
-    cfg: &GcConfig,
-) -> Outcome {
+pub fn deliver(summary: &SummarizedGraph, mut cdm: Cdm, scion: RefId, cfg: &GcConfig) -> Outcome {
     // Safety rule 1: "CDM sent to non-existent scions are discarded and
     // detection terminated" (§3.2). Covers scions newer than the summary
     // and scions already reclaimed.
@@ -224,9 +214,7 @@ fn expand_per_branch(
         saw_followable = true;
 
         let mut branch = cdm.clone();
-        if let Insert::Conflict { existing, incoming } =
-            branch.add_target(stub_ref, stub.ic)
-        {
+        if let Insert::Conflict { existing, incoming } = branch.add_target(stub_ref, stub.ic) {
             if cfg.ic_barrier {
                 return Outcome::AbortedIcMismatch {
                     ref_id: stub_ref,
@@ -241,8 +229,7 @@ fn expand_per_branch(
             let Some(dep_summary) = summary.scion(dep) else {
                 continue;
             };
-            if let Insert::Conflict { existing, incoming } =
-                branch.add_source(dep, dep_summary.ic)
+            if let Insert::Conflict { existing, incoming } = branch.add_source(dep, dep_summary.ic)
             {
                 if cfg.ic_barrier {
                     return Outcome::AbortedIcMismatch {
@@ -273,11 +260,14 @@ fn expand_per_branch(
             }
             branch.slack = cdm.slack - 1;
         }
-        outbound.push((grew, OutboundCdm {
-            dest: stub.target_proc,
-            via: stub_ref,
-            cdm: branch,
-        }));
+        outbound.push((
+            grew,
+            OutboundCdm {
+                dest: stub.target_proc,
+                via: stub_ref,
+                cdm: branch,
+            },
+        ));
     }
 
     if outbound.is_empty() {
@@ -341,12 +331,7 @@ fn expand_per_branch(
 /// changes is the walk's granularity: per *process* instead of per
 /// *reference*, collapsing the factorial branch explosion on densely
 /// shared garbage.
-fn expand_eager(
-    summary: &SummarizedGraph,
-    mut cdm: Cdm,
-    scion: RefId,
-    cfg: &GcConfig,
-) -> Outcome {
+fn expand_eager(summary: &SummarizedGraph, mut cdm: Cdm, scion: RefId, cfg: &GcConfig) -> Outcome {
     let baseline = cdm.clone();
     let mut branches_pruned_local = 0u32;
     let mut saw_followable = false;
@@ -830,7 +815,7 @@ mod tests {
             let others: Vec<u64> = (0u64..3).filter(|&j| j != i).collect();
             let stubs: Vec<u64> = others.iter().map(|&j| 10 * i + j).collect();
             for &j in &others {
-                b = b.scion((10 * j + i) as u64, j as u16, 0, &stubs, false);
+                b = b.scion(10 * j + i, j as u16, 0, &stubs, false);
             }
             for (&j, &sref) in others.iter().zip(stubs.iter()) {
                 let deps: Vec<u64> = others.iter().map(|&k| 10 * k + i).collect();
@@ -886,11 +871,7 @@ mod tests {
     fn eager_combine_respects_local_reach() {
         // Same clump but one stub is locally reachable: live, no verdict.
         let mut summaries = dense_summaries();
-        summaries[1]
-            .stubs
-            .get_mut(&RefId(10))
-            .unwrap()
-            .local_reach = true;
+        summaries[1].stubs.get_mut(&RefId(10)).unwrap().local_reach = true;
         let mut cfg = cfg();
         cfg.eager_combine = true;
         let mut pending = vec![(

@@ -10,7 +10,12 @@ fn entries() -> impl Strategy<Value = Vec<(u64, u64)>> {
 }
 
 fn build(source: &[(u64, u64)], target: &[(u64, u64)]) -> Cdm {
-    let mut cdm = Cdm::initiate(DetectionId(0), ProcId(0), RefId(source.first().map(|e| e.0).unwrap_or(0)), source.first().map(|e| e.1).unwrap_or(0));
+    let mut cdm = Cdm::initiate(
+        DetectionId(0),
+        ProcId(0),
+        RefId(source.first().map(|e| e.0).unwrap_or(0)),
+        source.first().map(|e| e.1).unwrap_or(0),
+    );
     cdm.source.clear();
     for &(r, ic) in source {
         cdm.add_source(RefId(r), ic);

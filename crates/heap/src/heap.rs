@@ -277,10 +277,7 @@ mod tests {
         let mut h = heap();
         let a = h.alloc(1);
         let foreign = ObjId::new(ProcId(1), a.slot, a.generation);
-        assert!(matches!(
-            h.get(foreign),
-            Err(ModelError::UnknownProcess(_))
-        ));
+        assert!(matches!(h.get(foreign), Err(ModelError::UnknownProcess(_))));
     }
 
     #[test]

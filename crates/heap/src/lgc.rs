@@ -24,6 +24,14 @@ pub struct Closure {
     pub stubs: FxHashSet<RefId>,
 }
 
+/// Reusable buffers for [`closure_into`]. Call sites that trace
+/// repeatedly (periodic collections, every snapshot) keep one of these and
+/// amortize the mark bitmap and worklist allocations to zero.
+#[derive(Clone, Debug, Default)]
+pub struct ClosureScratch {
+    queue: Vec<Slot>,
+}
+
 /// Breadth-first closure from `seeds` following only local edges; remote
 /// references are recorded, not followed (they are this process's stubs).
 ///
@@ -34,7 +42,23 @@ pub fn closure(heap: &Heap, seeds: impl IntoIterator<Item = Slot>) -> Closure {
         slots: BitSet::with_capacity(heap.slot_upper_bound()),
         stubs: FxHashSet::default(),
     };
-    let mut queue: Vec<Slot> = Vec::new();
+    closure_into(heap, seeds, &mut out, &mut ClosureScratch::default());
+    out
+}
+
+/// [`closure`] writing into caller-owned buffers: `out` is cleared and
+/// refilled (its `BitSet` and hash-set allocations are kept), and the
+/// breadth-first worklist lives in `scratch`.
+pub fn closure_into(
+    heap: &Heap,
+    seeds: impl IntoIterator<Item = Slot>,
+    out: &mut Closure,
+    scratch: &mut ClosureScratch,
+) {
+    out.slots.clear();
+    out.stubs.clear();
+    let queue = &mut scratch.queue;
+    queue.clear();
     for seed in seeds {
         if heap.get_slot(seed).is_some() && out.slots.insert(seed as usize) {
             queue.push(seed);
@@ -44,9 +68,7 @@ pub fn closure(heap: &Heap, seeds: impl IntoIterator<Item = Slot>) -> Closure {
     while cursor < queue.len() {
         let slot = queue[cursor];
         cursor += 1;
-        let record = heap
-            .get_slot(slot)
-            .expect("queued slot must be occupied");
+        let record = heap.get_slot(slot).expect("queued slot must be occupied");
         for &field in &record.refs {
             match field {
                 crate::object::HeapRef::Local(next) => {
@@ -60,7 +82,6 @@ pub fn closure(heap: &Heap, seeds: impl IntoIterator<Item = Slot>) -> Closure {
             }
         }
     }
-    out
 }
 
 /// Result of the mark phase.
@@ -78,11 +99,8 @@ pub struct MarkResult {
 
 /// Mark phase: trace from roots, then extend with the scion targets.
 pub fn mark(heap: &Heap, scion_targets: &[Slot]) -> MarkResult {
-    let from_roots = closure(heap, heap.roots().collect::<Vec<_>>());
-    let full = closure(
-        heap,
-        heap.roots().chain(scion_targets.iter().copied()).collect::<Vec<_>>(),
-    );
+    let from_roots = closure(heap, heap.roots());
+    let full = closure(heap, heap.roots().chain(scion_targets.iter().copied()));
     MarkResult {
         root_reachable: from_roots.slots,
         live: full.slots,
@@ -239,6 +257,30 @@ mod tests {
         let c = closure(&h, [a.slot]);
         assert_eq!(c.slots.count(), 2);
         assert!(c.stubs.contains(&RefId(5)));
+    }
+
+    #[test]
+    fn closure_into_reuses_buffers_and_matches() {
+        let mut h = Heap::new(ProcId(0));
+        let ids = chain(&mut h, 4);
+        h.add_ref(ids[3], HeapRef::Remote(RefId(9))).unwrap();
+        let fresh = closure(&h, [ids[0].slot]);
+        let mut out = Closure::default();
+        let mut scratch = ClosureScratch::default();
+        // Pre-dirty the buffers: closure_into must fully reset them.
+        out.slots.insert(123);
+        out.stubs.insert(RefId(77));
+        closure_into(&h, [ids[0].slot], &mut out, &mut scratch);
+        // Compare contents, not representation: the pre-dirtied bitset
+        // keeps its larger backing allocation after the clear.
+        assert_eq!(
+            out.slots.iter().collect::<Vec<_>>(),
+            fresh.slots.iter().collect::<Vec<_>>()
+        );
+        assert_eq!(out.stubs, fresh.stubs);
+        // Second run over a different seed reuses the same allocations.
+        closure_into(&h, [ids[2].slot], &mut out, &mut scratch);
+        assert_eq!(out.slots.count(), 2);
     }
 
     #[test]

@@ -22,5 +22,8 @@ pub mod lgc;
 pub mod object;
 
 pub use heap::{Heap, HeapStats};
-pub use lgc::{collect, mark, sweep, Closure, CollectResult, MarkResult, SweepResult};
+pub use lgc::{
+    closure, closure_into, collect, mark, sweep, Closure, ClosureScratch, CollectResult,
+    MarkResult, SweepResult,
+};
 pub use object::{HeapRef, ObjectRecord};

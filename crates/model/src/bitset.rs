@@ -80,11 +80,34 @@ impl BitSet {
         self.words.fill(0);
     }
 
+    /// Set-union in place: `self |= other`, one OR per 64 indices. This is
+    /// the primitive behind the SCC summarizer's bottom-up stub-set
+    /// propagation, where per-component reachable-stub sets merge along
+    /// condensation edges.
+    pub fn union_with(&mut self, other: &BitSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (dst, src) in self.words.iter_mut().zip(&other.words) {
+            *dst |= src;
+        }
+        self.len = self.len.max(other.len);
+    }
+
+    /// Whether the two sets share any index (word-parallel, no iteration).
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
     /// Iterate set indices in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &word)| {
-            BitIter { word, base: wi * 64 }
-        })
+        self.words
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &word)| BitIter {
+                word,
+                base: wi * 64,
+            })
     }
 }
 
@@ -167,5 +190,27 @@ mod tests {
     fn remove_out_of_range_is_noop() {
         let mut s = BitSet::default();
         assert!(!s.remove(10_000));
+    }
+
+    #[test]
+    fn union_with_merges_and_grows() {
+        let mut a: BitSet = [1usize, 63].into_iter().collect();
+        let b: BitSet = [2usize, 64, 500].into_iter().collect();
+        a.union_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), [1, 2, 63, 64, 500]);
+        // Union is idempotent and ignores the smaller operand's bounds.
+        let before = a.clone();
+        a.union_with(&b);
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn intersects_detects_overlap() {
+        let a: BitSet = [3usize, 200].into_iter().collect();
+        let b: BitSet = [200usize].into_iter().collect();
+        let c: BitSet = [4usize, 199].into_iter().collect();
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(!a.intersects(&BitSet::default()));
     }
 }

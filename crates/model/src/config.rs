@@ -20,6 +20,21 @@ pub enum IntegrationMode {
     WeakRefMonitor,
 }
 
+/// Which graph-summarization implementation a process runs at snapshot
+/// time. Both produce identical [`SummarizedGraph`]s (property-tested);
+/// they differ only in cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SummarizerKind {
+    /// Single-pass engine: one Tarjan SCC condensation of the local heap
+    /// followed by bottom-up bitset propagation of reachable-stub sets —
+    /// O(V + E + S·W/64) for S scions over a W-stub universe.
+    SccEngine,
+    /// The paper's literal formulation: one breadth-first traversal per
+    /// scion — O(S·(V + E)). Kept as the reference oracle and for
+    /// ablation-style comparisons.
+    Reference,
+}
+
 /// Collector tuning knobs. Defaults model the paper's lazy, low-disruption
 /// regime; ablation experiments flip the named switches.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -91,6 +106,18 @@ pub struct GcConfig {
     /// (the paper's DGC-extended remoting). Disabled only by the Table 1
     /// baseline ("original Rotor") measurement.
     pub instrument_remoting: bool,
+    /// Summarization implementation used at snapshot time.
+    pub summarizer: SummarizerKind,
+    /// Run the snapshot stage of a GC round over all processes in
+    /// parallel. Sound because summarization only reads process-local
+    /// state; the published summaries are identical to the sequential
+    /// order's, so simulation results stay deterministic.
+    pub parallel_snapshots: bool,
+    /// Capacity of each inter-process channel in the threaded runtime.
+    /// A full channel drops the (loss-tolerant) GC message rather than
+    /// blocking a worker that may hold its own process lock; drops are
+    /// surfaced in `ThreadedStats`.
+    pub channel_capacity: usize,
 }
 
 impl Default for GcConfig {
@@ -112,6 +139,9 @@ impl Default for GcConfig {
             nongrowth_slack: 8,
             eager_combine: false,
             instrument_remoting: true,
+            summarizer: SummarizerKind::SccEngine,
+            parallel_snapshots: true,
+            channel_capacity: 1_024,
         }
     }
 }

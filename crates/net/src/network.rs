@@ -168,7 +168,10 @@ impl<M: Clone> Network<M> {
         if class == MessageClass::Gc {
             self.stats.gc_sent += 1;
             self.stats.gc_bytes_sent += size_bytes as u64;
-            if self.rng.gen_bool(self.config.gc_drop_probability.clamp(0.0, 1.0)) {
+            if self
+                .rng
+                .gen_bool(self.config.gc_drop_probability.clamp(0.0, 1.0))
+            {
                 self.stats.dropped += 1;
                 return SendOutcome::Dropped;
             }
@@ -244,7 +247,14 @@ mod tests {
     fn delivery_order_is_by_time_then_seq() {
         let mut n = net(NetConfig::instant(), 1);
         for i in 0..5u32 {
-            n.send(SimTime(10), ProcId(0), ProcId(1), MessageClass::Application, 8, i);
+            n.send(
+                SimTime(10),
+                ProcId(0),
+                ProcId(1),
+                MessageClass::Application,
+                8,
+                i,
+            );
         }
         let order: Vec<u32> = std::iter::from_fn(|| n.pop_next().map(|e| e.payload)).collect();
         assert_eq!(order, vec![0, 1, 2, 3, 4], "ties broken by send sequence");
@@ -271,7 +281,14 @@ mod tests {
         let run = |seed: u64| -> Vec<(u64, u32)> {
             let mut n = net(cfg.clone(), seed);
             for i in 0..32u32 {
-                n.send(SimTime(i as u64), ProcId(0), ProcId(1), MessageClass::Gc, 16, i);
+                n.send(
+                    SimTime(i as u64),
+                    ProcId(0),
+                    ProcId(1),
+                    MessageClass::Gc,
+                    16,
+                    i,
+                );
             }
             std::iter::from_fn(|| n.pop_next().map(|e| (e.deliver_at.as_ticks(), e.payload)))
                 .collect()
@@ -337,7 +354,14 @@ mod tests {
         let mut n = net(cfg, 11);
         for i in 0..64u32 {
             // Sent in order at increasing times 0,1,2,...
-            n.send(SimTime(i as u64), ProcId(0), ProcId(1), MessageClass::Gc, 8, i);
+            n.send(
+                SimTime(i as u64),
+                ProcId(0),
+                ProcId(1),
+                MessageClass::Gc,
+                8,
+                i,
+            );
         }
         let order: Vec<u32> = std::iter::from_fn(|| n.pop_next().map(|e| e.payload)).collect();
         let mut sorted = order.clone();
@@ -350,7 +374,14 @@ mod tests {
     fn byte_accounting() {
         let mut n = net(NetConfig::instant(), 1);
         n.send(SimTime(0), ProcId(0), ProcId(1), MessageClass::Gc, 100, 1);
-        n.send(SimTime(0), ProcId(0), ProcId(1), MessageClass::Application, 50, 2);
+        n.send(
+            SimTime(0),
+            ProcId(0),
+            ProcId(1),
+            MessageClass::Application,
+            50,
+            2,
+        );
         assert_eq!(n.stats().bytes_sent, 150);
         assert_eq!(n.stats().gc_bytes_sent, 100);
         assert_eq!(n.stats().gc_sent, 1);
@@ -371,8 +402,19 @@ mod tests {
         let mut n = net(NetConfig::instant(), 1);
         n.partition_pair(ProcId(0), ProcId(1));
         assert!(n.is_partitioned(ProcId(0), ProcId(1)));
-        let out = n.send(SimTime(0), ProcId(0), ProcId(1), MessageClass::Application, 8, 1);
-        assert_eq!(out, SendOutcome::Dropped, "severed link loses app traffic too");
+        let out = n.send(
+            SimTime(0),
+            ProcId(0),
+            ProcId(1),
+            MessageClass::Application,
+            8,
+            1,
+        );
+        assert_eq!(
+            out,
+            SendOutcome::Dropped,
+            "severed link loses app traffic too"
+        );
         let out = n.send(SimTime(0), ProcId(1), ProcId(0), MessageClass::Gc, 8, 2);
         assert_eq!(out, SendOutcome::Dropped);
         // A third process is unaffected.

@@ -127,7 +127,10 @@ mod tests {
 
     /// Build a holder/owner pair: P0 holds stubs, P1 owns scions.
     fn pair() -> (RemotingTables, RemotingTables) {
-        (RemotingTables::new(ProcId(0)), RemotingTables::new(ProcId(1)))
+        (
+            RemotingTables::new(ProcId(0)),
+            RemotingTables::new(ProcId(1)),
+        )
     }
 
     #[test]
@@ -229,7 +232,10 @@ mod tests {
         let msgs = build_new_set_stubs(&mut holder, &[ProcId(1)], SimTime(100));
         let applied = apply_new_set_stubs(&mut owner, &msgs[0].1);
         assert_eq!(applied.removed.len(), 1);
-        assert!(owner.scion(RefId(2)).is_some(), "P2's scion not judged by P0");
+        assert!(
+            owner.scion(RefId(2)).is_some(),
+            "P2's scion not judged by P0"
+        );
     }
 
     #[test]

@@ -125,12 +125,16 @@ mod tests {
 
     #[test]
     fn since_subtracts_fieldwise() {
-        let mut a = Metrics::default();
-        a.invocations = 10;
-        a.cycles_detected = 3;
-        let mut b = Metrics::default();
-        b.invocations = 4;
-        b.cycles_detected = 1;
+        let a = Metrics {
+            invocations: 10,
+            cycles_detected: 3,
+            ..Metrics::default()
+        };
+        let b = Metrics {
+            invocations: 4,
+            cycles_detected: 1,
+            ..Metrics::default()
+        };
         let d = a.since(&b);
         assert_eq!(d.invocations, 6);
         assert_eq!(d.cycles_detected, 2);
@@ -140,16 +144,20 @@ mod tests {
     #[test]
     fn since_saturates() {
         let a = Metrics::default();
-        let mut b = Metrics::default();
-        b.invocations = 5;
+        let b = Metrics {
+            invocations: 5,
+            ..Metrics::default()
+        };
         assert_eq!(a.since(&b).invocations, 0);
     }
 
     #[test]
     fn aggregates() {
-        let mut m = Metrics::default();
-        m.detections_aborted_ic = 2;
-        m.detections_terminated_no_stubs = 3;
+        let mut m = Metrics {
+            detections_aborted_ic: 2,
+            detections_terminated_no_stubs: 3,
+            ..Metrics::default()
+        };
         assert_eq!(m.detections_failed(), 5);
         m.unsafe_frees = 1;
         assert_eq!(m.safety_violations(), 1);

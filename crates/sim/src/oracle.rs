@@ -140,7 +140,11 @@ mod tests {
         let live = global_live(&sys);
         assert!(live.is_empty(), "cycle with no roots is garbage");
         sys.add_root(a).unwrap();
-        assert_eq!(global_live(&sys).len(), 2, "rooting either end revives both");
+        assert_eq!(
+            global_live(&sys).len(),
+            2,
+            "rooting either end revives both"
+        );
     }
 
     #[test]

@@ -3,9 +3,9 @@
 
 use acdgc_dcda::CandidateState;
 use acdgc_heap::Heap;
+use acdgc_model::{GcConfig, ProcId, SimTime, SummarizerKind};
 use acdgc_remoting::RemotingTables;
-use acdgc_snapshot::SummarizedGraph;
-use acdgc_model::{GcConfig, ProcId, SimTime};
+use acdgc_snapshot::{summarize, SccEngine, SummarizedGraph};
 
 /// The state of one process. Mutation flows through [`crate::System`]
 /// (which owns all processes and the network), or through a
@@ -18,6 +18,9 @@ pub struct Process {
     /// empty: a process that never summarized never answers CDMs.
     pub summary: SummarizedGraph,
     pub candidates: CandidateState,
+    /// Reusable single-pass summarizer: per-process so parallel snapshot
+    /// stages share nothing, and so its scratch amortizes across rounds.
+    pub engine: SccEngine,
     /// Next scheduled phase times (periodic mode).
     pub next_lgc: SimTime,
     pub next_snapshot: SimTime,
@@ -37,6 +40,7 @@ impl Process {
             tables: RemotingTables::new(proc),
             summary: SummarizedGraph::empty(proc),
             candidates: CandidateState::new(),
+            engine: SccEngine::new(),
             next_lgc: stagger(cfg.lgc_period.as_ticks()),
             next_snapshot: stagger(cfg.snapshot_period.as_ticks()),
             next_scan: stagger(cfg.scan_period.as_ticks()),
@@ -53,6 +57,22 @@ impl Process {
     pub fn next_summary_version(&mut self) -> u64 {
         self.summary_version += 1;
         self.summary_version
+    }
+
+    /// Re-summarize the heap and publish the result, using the configured
+    /// summarizer implementation, then prune candidate state against the
+    /// fresh summary. Touches only this process — safe to run for many
+    /// processes in parallel.
+    pub fn refresh_summary(&mut self, kind: SummarizerKind, now: SimTime) {
+        let version = self.next_summary_version();
+        self.summary = match kind {
+            SummarizerKind::SccEngine => {
+                self.engine
+                    .summarize(&self.heap, &self.tables, version, now)
+            }
+            SummarizerKind::Reference => summarize(&self.heap, &self.tables, version, now),
+        };
+        self.candidates.retain_known(&self.summary);
     }
 
     /// Earliest scheduled phase time for the event loop.

@@ -6,15 +6,15 @@ use crate::oracle;
 use crate::process::Process;
 use acdgc_dcda::{select_candidates, Cdm, Outcome, TerminateReason};
 use acdgc_heap::{lgc, HeapRef};
-use acdgc_net::{Envelope, MessageClass, NetStats, Network};
-use acdgc_remoting::{
-    apply_new_set_stubs, build_new_set_stubs, ExportedRef, InvokePayload, ReplyPayload,
-};
-use acdgc_snapshot::summarize;
 use acdgc_model::{
     GcConfig, IdAllocator, IntegrationMode, ModelError, NetConfig, ObjId, ProcId, RefId,
     SimDuration, SimTime,
 };
+use acdgc_net::{Envelope, MessageClass, NetStats, Network};
+use acdgc_remoting::{
+    apply_new_set_stubs, build_new_set_stubs, ExportedRef, InvokePayload, ReplyPayload,
+};
+use rayon::prelude::*;
 use rustc_hash::FxHashSet;
 
 /// A complete simulated distributed system: N processes, one network, one
@@ -188,9 +188,7 @@ impl System {
                 self.procs[holder.index()].tables.pardon_stub(r);
                 // Reuse counts as re-establishment: protect the scion from
                 // NewSetStubs built before this instant.
-                self.procs[target.proc.index()]
-                    .tables
-                    .refresh_scion(r, now);
+                self.procs[target.proc.index()].tables.refresh_scion(r, now);
                 r
             }
             (Some(r), None) => {
@@ -204,11 +202,14 @@ impl System {
                 // The stub is being re-created after dying: a NewSetStubs
                 // without it may still be in flight — refresh the scion's
                 // horizon so that stale set cannot delete it.
-                if dbg { eprintln!("t={:?} re-establish stub {r:?} at {holder} target {target:?}", self.clock); }
+                if dbg {
+                    eprintln!(
+                        "t={:?} re-establish stub {r:?} at {holder} target {target:?}",
+                        self.clock
+                    );
+                }
                 self.procs[holder.index()].tables.add_stub(r, target, now);
-                self.procs[target.proc.index()]
-                    .tables
-                    .refresh_scion(r, now);
+                self.procs[target.proc.index()].tables.refresh_scion(r, now);
                 r
             }
             (None, None) => {
@@ -345,9 +346,7 @@ impl System {
                         // Re-export of an existing pair: the importer's
                         // stub may have died and a NewSetStubs without it
                         // may be in flight; refresh the horizon.
-                        self.procs[target.proc.index()]
-                            .tables
-                            .refresh_scion(r, now);
+                        self.procs[target.proc.index()].tables.refresh_scion(r, now);
                         r
                     }
                     None => {
@@ -380,12 +379,7 @@ impl System {
 
     /// Import marshalled references at `importer`, attaching them as fields
     /// of `holder` (when given and alive). Unpins the export scions.
-    fn import_exports(
-        &mut self,
-        importer: ProcId,
-        holder: Option<ObjId>,
-        exports: &[ExportedRef],
-    ) {
+    fn import_exports(&mut self, importer: ProcId, holder: Option<ObjId>, exports: &[ExportedRef]) {
         let now = self.clock;
         for export in exports {
             if export.target.proc == importer {
@@ -444,9 +438,7 @@ impl System {
     /// Run one local collection at `p` and broadcast `NewSetStubs`.
     pub fn run_lgc(&mut self, p: ProcId) {
         let now = self.clock;
-        let oracle_live = self
-            .check_safety
-            .then(|| oracle::global_live(&*self));
+        let oracle_live = self.check_safety.then(|| oracle::global_live(&*self));
 
         let proc = &mut self.procs[p.index()];
         let targets = proc.tables.scion_target_slots();
@@ -462,13 +454,25 @@ impl System {
                         for q in &self.procs {
                             for stub in q.tables.stubs() {
                                 if stub.target == *freed {
-                                    eprintln!("  stub at {}: {:?} pair {:?} condemned={}", q.proc(), stub.ref_id, stub.target, stub.condemned);
+                                    eprintln!(
+                                        "  stub at {}: {:?} pair {:?} condemned={}",
+                                        q.proc(),
+                                        stub.ref_id,
+                                        stub.target,
+                                        stub.condemned
+                                    );
                                 }
                             }
                             for (slot, rec) in q.heap.iter() {
                                 for r in rec.remote_refs() {
                                     if q.tables.stub(r).map(|s| s.target) == Some(*freed) {
-                                        eprintln!("  held by {:?}#{} via {:?} (holder live={})", q.proc(), slot, r, live.contains(&q.heap.id_of_slot(slot).unwrap()));
+                                        eprintln!(
+                                            "  held by {:?}#{} via {:?} (holder live={})",
+                                            q.proc(),
+                                            slot,
+                                            r,
+                                            live.contains(&q.heap.id_of_slot(slot).unwrap())
+                                        );
                                     }
                                 }
                             }
@@ -541,12 +545,34 @@ impl System {
     pub fn take_snapshot(&mut self, p: ProcId) {
         let now = self.clock;
         let proc = &mut self.procs[p.index()];
-        let version = proc.next_summary_version();
-        proc.summary = summarize(&proc.heap, &proc.tables, version, now);
-        proc.candidates.retain_known(&proc.summary);
+        proc.refresh_summary(self.cfg.summarizer, now);
         self.metrics.snapshots += 1;
         self.metrics.summary_scions += proc.summary.scions.len() as u64;
         self.metrics.summary_stubs += proc.summary.stubs.len() as u64;
+    }
+
+    /// Snapshot + summarize every process. Summarization reads only
+    /// process-local state, so with `parallel_snapshots` the per-process
+    /// work fans out across threads; published summaries (and therefore
+    /// simulation results) are identical either way. Metrics are
+    /// accumulated sequentially afterwards to keep them deterministic.
+    pub fn snapshot_all(&mut self) {
+        let now = self.clock;
+        let kind = self.cfg.summarizer;
+        if self.cfg.parallel_snapshots && self.procs.len() > 1 {
+            self.procs
+                .par_iter_mut()
+                .for_each(|proc| proc.refresh_summary(kind, now));
+        } else {
+            for proc in &mut self.procs {
+                proc.refresh_summary(kind, now);
+            }
+        }
+        for proc in &self.procs {
+            self.metrics.snapshots += 1;
+            self.metrics.summary_scions += proc.summary.scions.len() as u64;
+            self.metrics.summary_stubs += proc.summary.stubs.len() as u64;
+        }
     }
 
     /// Candidate scan at `p`: initiate detections for stale scions.
@@ -567,12 +593,7 @@ impl System {
             self.metrics.detections_dropped_no_scion += 1;
             return;
         };
-        let cdm = Cdm::initiate(
-            self.ids.next_detection_id(),
-            p,
-            scion,
-            summary_scion.ic,
-        );
+        let cdm = Cdm::initiate(self.ids.next_detection_id(), p, scion, summary_scion.ic);
         self.metrics.detections_started += 1;
         let outcome = acdgc_dcda::initiate(&proc.summary, cdm, scion, &self.cfg);
         self.handle_outcome(p, outcome);
@@ -628,9 +649,7 @@ impl System {
                 TerminateReason::NoNewInformation => {
                     self.metrics.detections_terminated_no_new_info += 1
                 }
-                TerminateReason::BudgetExhausted => {
-                    self.metrics.detections_terminated_budget += 1
-                }
+                TerminateReason::BudgetExhausted => self.metrics.detections_terminated_budget += 1,
             },
         }
     }
@@ -645,9 +664,7 @@ impl System {
                 reply_exports,
                 receiver,
             } => self.dispatch_invoke(env.src, dst, payload, reply_exports, receiver),
-            SysMessage::Reply { payload, receiver } => {
-                self.dispatch_reply(dst, payload, receiver)
-            }
+            SysMessage::Reply { payload, receiver } => self.dispatch_reply(dst, payload, receiver),
             SysMessage::Nss(nss) => {
                 let applied = apply_new_set_stubs(&mut self.procs[dst.index()].tables, &nss);
                 if applied.stale {
@@ -657,14 +674,18 @@ impl System {
                     self.metrics.scions_reclaimed_acyclic += applied.removed.len() as u64;
                     if std::env::var_os("ACDGC_DEBUG_UNSAFE").is_some() {
                         for sc in &applied.removed {
-                            eprintln!("t={:?} NSS from {} removed scion {:?} target {:?} (created {:?})", self.clock, nss.from, sc.ref_id, sc.target, sc.created_at);
+                            eprintln!(
+                                "t={:?} NSS from {} removed scion {:?} target {:?} (created {:?})",
+                                self.clock, nss.from, sc.ref_id, sc.target, sc.created_at
+                            );
                         }
                     }
                 }
             }
             SysMessage::Cdm { via, cdm } => {
                 self.metrics.cdms_delivered += 1;
-                let outcome = acdgc_dcda::deliver(&self.procs[dst.index()].summary, cdm, via, &self.cfg);
+                let outcome =
+                    acdgc_dcda::deliver(&self.procs[dst.index()].summary, cdm, via, &self.cfg);
                 self.handle_outcome(dst, outcome);
             }
             SysMessage::DeleteScion { scion, incarnation } => {
@@ -746,10 +767,9 @@ impl System {
         let _ = self.procs[dst.index()].tables.unpin_scion(payload.ref_id);
         self.import_exports(dst, Some(target), &payload.exports);
         if payload.wants_reply {
-            let exports = match self.marshal_exports(&reply_exports, dst, src) {
-                Ok(e) => e,
-                Err(_) => Vec::new(),
-            };
+            let exports = self
+                .marshal_exports(&reply_exports, dst, src)
+                .unwrap_or_default();
             // The reply travels back through the same reference: the callee
             // side counter advances now, the caller side on delivery.
             let _ = self.procs[dst.index()]
@@ -869,9 +889,7 @@ impl System {
             self.run_monitor(ProcId(i as u16));
         }
         self.drain_network();
-        for i in 0..self.procs.len() {
-            self.take_snapshot(ProcId(i as u16));
-        }
+        self.snapshot_all();
         for i in 0..self.procs.len() {
             self.run_scan(ProcId(i as u16));
         }
@@ -934,7 +952,10 @@ impl System {
             // scion targets).
             for scion in proc.tables.scions() {
                 if !proc.heap.contains(scion.target) {
-                    return Err(format!("{p}: scion {} target {} dead", scion.ref_id, scion.target));
+                    return Err(format!(
+                        "{p}: scion {} target {} dead",
+                        scion.ref_id, scion.target
+                    ));
                 }
             }
             // Every stub targets a remote process and its id is unique by

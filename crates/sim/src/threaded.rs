@@ -16,10 +16,9 @@
 use crate::process::Process;
 use acdgc_dcda::{select_candidates, Cdm, Outcome, TerminateReason};
 use acdgc_heap::lgc;
-use acdgc_remoting::{apply_new_set_stubs, build_new_set_stubs};
-use acdgc_snapshot::summarize;
 use acdgc_model::{GcConfig, IntegrationMode, ProcId, RefId, SimTime};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use acdgc_remoting::{apply_new_set_stubs, build_new_set_stubs};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -42,6 +41,22 @@ pub struct ThreadedStats {
     pub cycles_detected: AtomicU64,
     pub scions_deleted: AtomicU64,
     pub objects_reclaimed: AtomicU64,
+    /// GC messages dropped because a peer's bounded inbox was full (or the
+    /// peer was gone). Dropping instead of blocking keeps a worker that
+    /// holds its own process lock from deadlocking on a slow peer; the
+    /// algorithm tolerates arbitrary GC-message loss, so drops only delay
+    /// reclamation.
+    pub nss_dropped: AtomicU64,
+    pub cdms_dropped: AtomicU64,
+    pub deletes_dropped: AtomicU64,
+}
+
+/// Send without ever blocking: a full (or disconnected) inbox drops the
+/// message and bumps the matching counter.
+fn send_or_drop(tx: &Sender<ThreadMsg>, msg: ThreadMsg, dropped: &AtomicU64) {
+    if tx.try_send(msg).is_err() {
+        dropped.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Run the GC stack concurrently over pre-built processes until the system
@@ -64,15 +79,15 @@ pub fn run_concurrent_collection(
     let mut senders: Vec<Sender<ThreadMsg>> = Vec::with_capacity(n);
     let mut receivers: Vec<Option<Receiver<ThreadMsg>>> = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = unbounded();
+        // Bounded inboxes put a hard cap on runtime memory; capacity 0
+        // would make every try_send fail, so clamp to at least 1.
+        let (tx, rx) = bounded(cfg.channel_capacity.max(1));
         senders.push(tx);
         receivers.push(Some(rx));
     }
 
-    let cells: Vec<Arc<Mutex<Process>>> = procs
-        .into_iter()
-        .map(|p| Arc::new(Mutex::new(p)))
-        .collect();
+    let cells: Vec<Arc<Mutex<Process>>> =
+        procs.into_iter().map(|p| Arc::new(Mutex::new(p))).collect();
 
     let start = Instant::now();
     let mut handles = Vec::with_capacity(n);
@@ -194,11 +209,10 @@ fn worker(
                 .filter(|&q| q != me)
                 .collect();
             for (dest, m) in build_new_set_stubs(&mut p.tables, &peers, t) {
-                let _ = txs[dest.index()].send(ThreadMsg::Nss(m));
+                send_or_drop(&txs[dest.index()], ThreadMsg::Nss(m), &stats.nss_dropped);
             }
 
-            let version = p.next_summary_version();
-            p.summary = summarize(&p.heap, &p.tables, version, t);
+            p.refresh_summary(cfg.summarizer, t);
             stats.snapshots.fetch_add(1, Ordering::Relaxed);
 
             let picked = {
@@ -268,10 +282,14 @@ fn drop_outcome_into(
         Outcome::Forwarded { out: list, .. } => {
             for ob in list {
                 stats.cdms_sent.fetch_add(1, Ordering::Relaxed);
-                let _ = txs[ob.dest.index()].send(ThreadMsg::Cdm {
-                    via: ob.via,
-                    cdm: ob.cdm,
-                });
+                send_or_drop(
+                    &txs[ob.dest.index()],
+                    ThreadMsg::Cdm {
+                        via: ob.via,
+                        cdm: ob.cdm,
+                    },
+                    &stats.cdms_dropped,
+                );
             }
         }
         Outcome::CycleFound { delete } => {
@@ -288,7 +306,11 @@ fn drop_outcome_into(
                         p.summary.scions.remove(&r);
                     }
                 } else {
-                    let _ = txs[owner.index()].send(ThreadMsg::DeleteScion(r, inc));
+                    send_or_drop(
+                        &txs[owner.index()],
+                        ThreadMsg::DeleteScion(r, inc),
+                        &stats.deletes_dropped,
+                    );
                 }
             }
         }

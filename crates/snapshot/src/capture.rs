@@ -6,8 +6,8 @@
 //! experiment measures encoding it.
 
 use acdgc_heap::{Heap, HeapRef};
-use acdgc_remoting::RemotingTables;
 use acdgc_model::{ObjId, ProcId, RefId, SimTime, Slot};
+use acdgc_remoting::RemotingTables;
 
 /// One serialized object.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -163,8 +163,7 @@ impl SnapshotCodec for VerboseCodec {
     }
 
     fn decode(&self, image: &[u8]) -> Result<SnapshotData, CodecError> {
-        let text =
-            std::str::from_utf8(image).map_err(|e| CodecError(format!("not utf-8: {e}")))?;
+        let text = std::str::from_utf8(image).map_err(|e| CodecError(format!("not utf-8: {e}")))?;
         let mut lines = text.lines();
         let magic = lines.next().ok_or_else(|| CodecError("empty".into()))?;
         if magic != "SNAPSHOT version=1" {

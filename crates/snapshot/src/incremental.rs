@@ -24,11 +24,12 @@
 //! sequence (property-tested in `tests/`): the incremental path exists for
 //! cost, never for different answers.
 
-use crate::summary::{summarize, ScionSummary, SummarizedGraph};
-use acdgc_heap::lgc::closure;
+use crate::engine::SccEngine;
+use crate::summary::{ScionSummary, SummarizedGraph};
+use acdgc_heap::lgc::{closure_into, Closure, ClosureScratch};
 use acdgc_heap::Heap;
-use acdgc_remoting::RemotingTables;
 use acdgc_model::{ProcId, RefId, SimTime};
+use acdgc_remoting::RemotingTables;
 use rustc_hash::{FxHashMap, FxHashSet};
 
 /// Conservative mutator-event tracker feeding the incremental summarizer.
@@ -78,11 +79,17 @@ impl DirtyTracker {
     }
 }
 
-/// Incremental summarizer state: previous summary + dirty set.
+/// Incremental summarizer state: previous summary + dirty set, plus the
+/// reusable traversal scratch (SCC engine for full recomputes, closure
+/// buffers for the per-scion path).
 #[derive(Clone, Debug)]
 pub struct IncrementalSummarizer {
     tracker: DirtyTracker,
     previous: SummarizedGraph,
+    engine: SccEngine,
+    root_closure: Closure,
+    scion_closure: Closure,
+    scratch: ClosureScratch,
 }
 
 impl IncrementalSummarizer {
@@ -90,6 +97,10 @@ impl IncrementalSummarizer {
         IncrementalSummarizer {
             tracker: DirtyTracker::new(),
             previous: SummarizedGraph::empty(proc),
+            engine: SccEngine::new(),
+            root_closure: Closure::default(),
+            scion_closure: Closure::default(),
+            scratch: ClosureScratch::default(),
         }
     }
 
@@ -109,12 +120,20 @@ impl IncrementalSummarizer {
     ) -> SummarizedGraph {
         let (all_dirty, dirty) = self.tracker.take();
         if all_dirty {
-            self.previous = summarize(heap, tables, version, taken_at);
+            // Full recompute: one single-pass SCC summarization (identical
+            // output to the reference, a fraction of the traversal work).
+            self.previous = self.engine.summarize(heap, tables, version, taken_at);
             return self.previous.clone();
         }
 
         // Root closure is always recomputed: Local.Reach must be exact.
-        let root_closure = closure(heap, heap.roots().collect::<Vec<_>>());
+        closure_into(
+            heap,
+            heap.roots(),
+            &mut self.root_closure,
+            &mut self.scratch,
+        );
+        let root_closure = &self.root_closure;
 
         let mut scions: FxHashMap<RefId, ScionSummary> = FxHashMap::default();
         let mut scions_to: FxHashMap<RefId, Vec<RefId>> = FxHashMap::default();
@@ -131,8 +150,14 @@ impl IncrementalSummarizer {
                         .collect()
                 }
                 _ => {
-                    let reach = closure(heap, [scion.target.slot]);
-                    let mut stubs: Vec<RefId> = reach
+                    closure_into(
+                        heap,
+                        [scion.target.slot],
+                        &mut self.scion_closure,
+                        &mut self.scratch,
+                    );
+                    let mut stubs: Vec<RefId> = self
+                        .scion_closure
                         .stubs
                         .iter()
                         .copied()
@@ -212,6 +237,7 @@ pub fn summaries_equivalent(a: &SummarizedGraph, b: &SummarizedGraph) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::summary::summarize;
     use acdgc_heap::HeapRef;
     use acdgc_model::ObjId;
 

@@ -16,13 +16,22 @@
 //!   (`ScionsTo`) and its local reachability bit (`Local.Reach`), plus the
 //!   invocation counters captured at snapshot time. References strictly
 //!   internal to the process are summarized away.
+//!
+//! Two summarizer implementations produce that graph: [`summarize`], the
+//! paper's per-scion breadth-first formulation (kept as the reference
+//! oracle), and [`SccEngine`], a single-pass SCC-condensation engine that
+//! computes identical output in O(V + E) graph work (see
+//! [`engine`]). [`incremental::IncrementalSummarizer`] layers dirty
+//! tracking over either.
 
 pub mod capture;
 pub mod codec;
+pub mod engine;
 pub mod incremental;
 pub mod summary;
 
 pub use capture::{capture, SnapObject, SnapshotData};
 pub use codec::{CodecError, CompactCodec, SnapshotCodec, VerboseCodec};
+pub use engine::SccEngine;
 pub use incremental::{summaries_equivalent, DirtyTracker, IncrementalSummarizer};
 pub use summary::{summarize, ScionSummary, StubSummary, SummarizedGraph};

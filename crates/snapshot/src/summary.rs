@@ -7,8 +7,8 @@
 
 use acdgc_heap::lgc::closure;
 use acdgc_heap::Heap;
-use acdgc_remoting::RemotingTables;
 use acdgc_model::{ProcId, RefId, SimTime};
+use acdgc_remoting::RemotingTables;
 use rustc_hash::FxHashMap;
 
 /// Summary of one scion (incoming remote reference).
@@ -91,7 +91,7 @@ pub fn summarize(
     version: u64,
     taken_at: SimTime,
 ) -> SummarizedGraph {
-    let root_closure = closure(heap, heap.roots().collect::<Vec<_>>());
+    let root_closure = closure(heap, heap.roots());
 
     let mut scions: FxHashMap<RefId, ScionSummary> = FxHashMap::default();
     let mut scions_to: FxHashMap<RefId, Vec<RefId>> = FxHashMap::default();
@@ -116,9 +116,7 @@ pub fn summarize(
                 from_proc: scion.from_proc,
                 ic: scion.ic,
                 stubs_from,
-                target_locally_reachable: root_closure
-                    .slots
-                    .contains(scion.target.slot as usize),
+                target_locally_reachable: root_closure.slots.contains(scion.target.slot as usize),
                 last_invoked: scion.last_invoked,
                 incarnation: scion.incarnation,
             },
@@ -253,7 +251,10 @@ mod tests {
         tables.add_scion(RefId(2), b, ProcId(2), SimTime(0));
         tables.add_stub(RefId(5), ObjId::new(ProcId(3), 0, 0), SimTime(0));
         let s = summarize(&heap, &tables, 1, SimTime(0));
-        assert_eq!(s.stub(RefId(5)).unwrap().scions_to, vec![RefId(1), RefId(2)]);
+        assert_eq!(
+            s.stub(RefId(5)).unwrap().scions_to,
+            vec![RefId(1), RefId(2)]
+        );
         assert_eq!(s.scion(RefId(1)).unwrap().stubs_from, vec![RefId(5)]);
         assert_eq!(s.scion(RefId(2)).unwrap().stubs_from, vec![RefId(5)]);
     }

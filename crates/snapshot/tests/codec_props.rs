@@ -3,36 +3,33 @@
 //! structures (the simulator's shortcut is sound).
 
 use acdgc_heap::{Heap, HeapRef};
+use acdgc_model::{ObjId, ProcId, RefId, SimTime};
 use acdgc_remoting::RemotingTables;
 use acdgc_snapshot::{
-    capture, summaries_equivalent, summarize, CompactCodec, IncrementalSummarizer,
-    SnapshotCodec, VerboseCodec,
+    capture, summaries_equivalent, summarize, CompactCodec, IncrementalSummarizer, SnapshotCodec,
+    VerboseCodec,
 };
-use acdgc_model::{ObjId, ProcId, RefId, SimTime};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 struct WorldRecipe {
-    objects: usize,
     payloads: Vec<u32>,
     edges: Vec<(usize, usize)>,
     roots: Vec<usize>,
-    stubs: Vec<(usize, u16, u64)>,   // (holder, target proc, ic)
-    scions: Vec<(usize, u16, u64)>,  // (target, from proc, ic)
+    stubs: Vec<(usize, u16, u64)>,  // (holder, target proc, ic)
+    scions: Vec<(usize, u16, u64)>, // (target, from proc, ic)
 }
 
 fn world_recipe() -> impl Strategy<Value = WorldRecipe> {
     (1usize..16).prop_flat_map(|objects| {
         (
-            Just(objects),
             prop::collection::vec(0u32..6, objects..=objects),
             prop::collection::vec((0..objects, 0..objects), 0..32),
             prop::collection::vec(0..objects, 0..3),
             prop::collection::vec((0..objects, 1u16..4, 0u64..9), 0..6),
             prop::collection::vec((0..objects, 1u16..4, 0u64..9), 0..6),
         )
-            .prop_map(|(objects, payloads, edges, roots, stubs, scions)| WorldRecipe {
-                objects,
+            .prop_map(|(payloads, edges, roots, stubs, scions)| WorldRecipe {
                 payloads,
                 edges,
                 roots,
@@ -67,19 +64,14 @@ fn build(recipe: &WorldRecipe) -> (Heap, RemotingTables) {
         heap.add_ref(ids[holder], HeapRef::Remote(r)).unwrap();
     }
     for &(target, proc, ic) in &recipe.scions {
-        if tables
-            .scion_for_source(ProcId(proc), ids[target])
-            .is_some()
-        {
+        if tables.scion_for_source(ProcId(proc), ids[target]).is_some() {
             continue;
         }
         let r = RefId(next_ref);
         next_ref += 1;
         tables.add_scion(r, ids[target], ProcId(proc), SimTime(0));
         for i in 0..ic {
-            tables
-                .record_receive_through_scion(r, SimTime(i))
-                .unwrap();
+            tables.record_receive_through_scion(r, SimTime(i)).unwrap();
         }
     }
     (heap, tables)

@@ -44,8 +44,7 @@ fn main() {
     for a in 0..HOSTS {
         for b in 0..HOSTS {
             if a != b {
-                fabric[a][b] =
-                    Some(sys.create_remote_ref(managers[a], managers[b]).unwrap());
+                fabric[a][b] = Some(sys.create_remote_ref(managers[a], managers[b]).unwrap());
             }
         }
     }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full local CI gate: build, tests, lints, formatting.
+#
+# Runs with --offline: the workspace vendors stand-in crates under
+# vendor/ and must never touch a registry.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> build (release)"
+cargo build --release --offline --workspace
+
+echo "==> tests"
+cargo test -q --offline --workspace
+
+echo "==> clippy (-D warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> rustfmt check"
+cargo fmt --check
+
+echo "CI OK"

@@ -52,7 +52,12 @@ fn n_concurrent_detections_on_one_ring() {
 fn concurrent_detections_still_unravel_everything() {
     let mut sys = race_all_scions(5, 2);
     let rounds = sys.collect_to_fixpoint(20);
-    assert_eq!(sys.total_live_objects(), 0, "rounds={rounds} {:?}", sys.metrics);
+    assert_eq!(
+        sys.total_live_objects(),
+        0,
+        "rounds={rounds} {:?}",
+        sys.metrics
+    );
     assert_eq!(sys.metrics.safety_violations(), 0);
     sys.check_invariants().unwrap();
 }

@@ -18,7 +18,12 @@ fn fig3_collects_under_eager_mode() {
     let fig = scenarios::fig3(&mut sys);
     sys.remove_root(fig.a).unwrap();
     let rounds = sys.collect_to_fixpoint(20);
-    assert_eq!(sys.total_live_objects(), 0, "rounds={rounds} {:?}", sys.metrics);
+    assert_eq!(
+        sys.total_live_objects(),
+        0,
+        "rounds={rounds} {:?}",
+        sys.metrics
+    );
     assert_eq!(sys.metrics.safety_violations(), 0);
 }
 
@@ -27,7 +32,12 @@ fn fig4_collects_under_eager_mode() {
     let mut sys = System::new(6, eager_manual(), NetConfig::instant(), 91);
     let _fig = scenarios::fig4(&mut sys);
     let rounds = sys.collect_to_fixpoint(25);
-    assert_eq!(sys.total_live_objects(), 0, "rounds={rounds} {:?}", sys.metrics);
+    assert_eq!(
+        sys.total_live_objects(),
+        0,
+        "rounds={rounds} {:?}",
+        sys.metrics
+    );
     assert_eq!(sys.metrics.safety_violations(), 0);
 }
 

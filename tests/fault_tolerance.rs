@@ -109,7 +109,10 @@ fn duplicated_gc_traffic_is_idempotent() {
     sys.run_for(SimDuration::from_millis(3_000));
     assert_eq!(sys.total_live_objects(), 0, "{:?}", sys.metrics);
     assert_eq!(sys.metrics.safety_violations(), 0);
-    assert!(sys.metrics.nss_stale > 0, "duplicates were seen and ignored");
+    assert!(
+        sys.metrics.nss_stale > 0,
+        "duplicates were seen and ignored"
+    );
 }
 
 #[test]
@@ -120,7 +123,12 @@ fn many_seeds_same_verdict() {
         let fig = scenarios::fig3(&mut sys);
         sys.remove_root(fig.a).unwrap();
         sys.run_for(SimDuration::from_millis(15_000));
-        assert_eq!(sys.total_live_objects(), 0, "seed {seed}: {:?}", sys.metrics);
+        assert_eq!(
+            sys.total_live_objects(),
+            0,
+            "seed {seed}: {:?}",
+            sys.metrics
+        );
         assert_eq!(sys.metrics.safety_violations(), 0, "seed {seed}");
     }
 }

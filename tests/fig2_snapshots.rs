@@ -94,7 +94,8 @@ fn stale_summary_candidate_is_filtered_after_reroot() {
     // reachable: r_xy is no longer even a candidate.
     let (mut sys, fig) = prepared();
     let p2 = ProcId(1);
-    sys.invoke(ProcId(0), fig.r_xy, InvokeSpec::oneway()).unwrap();
+    sys.invoke(ProcId(0), fig.r_xy, InvokeSpec::oneway())
+        .unwrap();
     sys.drain_network();
     sys.add_root(fig.y).unwrap();
     sys.remove_root(fig.x).unwrap();

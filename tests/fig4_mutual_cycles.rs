@@ -153,7 +153,11 @@ fn algebra_trace_matches_section_3_1() {
     // Steps 19-20 at P3: StubsFrom(K) = {ZB}; send Alg_6a,a to P6.
     let out = dcda::deliver(&sys.proc(fig.p3).summary, alg5aa, fig.r_fk, &cfg);
     assert_eq!(out.forwards()[0].dest, fig.p6, "step 20: send to P6");
-    assert_eq!(out.forwards()[0].via, fig.r_kzb, "step 19: StubsFrom(K)={{ZB}}");
+    assert_eq!(
+        out.forwards()[0].via,
+        fig.r_kzb,
+        "step 19: StubsFrom(K)={{ZB}}"
+    );
     let alg6aa = out.forwards()[0].cdm.clone();
 
     // Steps 21-24 at P6: Matching => {{Y} -> {ZB}}; forward to P5 along Y.
@@ -168,8 +172,16 @@ fn algebra_trace_matches_section_3_1() {
         other => panic!("step 22 expects pending, got {other:?}"),
     }
     let out = dcda::deliver(&sys.proc(fig.p6).summary, alg6aa, fig.r_kzb, &cfg);
-    assert_eq!(out.forwards()[0].dest, fig.p5, "step 24: send Alg_7a,a to P5");
-    assert_eq!(out.forwards()[0].via, fig.r_zby, "step 23: StubsFrom(ZB)={{Y}}");
+    assert_eq!(
+        out.forwards()[0].dest,
+        fig.p5,
+        "step 24: send Alg_7a,a to P5"
+    );
+    assert_eq!(
+        out.forwards()[0].via,
+        fig.r_zby,
+        "step 23: StubsFrom(ZB)={{Y}}"
+    );
     let alg7aa = out.forwards()[0].cdm.clone();
 
     // Steps 25-26 at P5: Matching(Alg_7a,a) => {{} -> {}} — cycle found.
@@ -179,7 +191,9 @@ fn algebra_trace_matches_section_3_1() {
         panic!("step 26 expects a cycle verdict, got {out:?}");
     };
     assert!(
-        delete.iter().any(|&(p, r, _)| p == fig.p5 && r == fig.r_zby),
+        delete
+            .iter()
+            .any(|&(p, r, _)| p == fig.p5 && r == fig.r_zby),
         "step 26: cycle found at P5, Y's scion deleted"
     );
     assert_eq!(delete.len(), 7, "all seven matched references are garbage");

@@ -81,7 +81,10 @@ fn run_race(cfg: GcConfig) -> System {
     // "11 ≺ t ≺ iii": P1 snapshots AFTER the mutation, BEFORE the CDM
     // arrives: Local.Reach(B→F) = false, IC(B→F) = x+1.
     sys.take_snapshot(P1);
-    assert!(sys.clock() < SimTime::from_millis(31), "CDM still in flight");
+    assert!(
+        sys.clock() < SimTime::from_millis(31),
+        "CDM still in flight"
+    );
 
     // Events iii, iv: the CDM reaches P1, combines with the new summary,
     // and is forwarded to P2 where matching sees {F,x} vs {F,x+1}.

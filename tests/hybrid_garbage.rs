@@ -63,7 +63,12 @@ fn upstream_acyclic_chain_resolves_then_cycle_falls() {
     // yet — but nothing unsafe happens and the acyclic layer reclaims the
     // chain; subsequent rounds finish the job.
     let rounds = sys.collect_to_fixpoint(20);
-    assert_eq!(sys.total_live_objects(), 0, "rounds={rounds} {:?}", sys.metrics);
+    assert_eq!(
+        sys.total_live_objects(),
+        0,
+        "rounds={rounds} {:?}",
+        sys.metrics
+    );
     assert_eq!(sys.metrics.safety_violations(), 0);
 }
 
@@ -127,7 +132,12 @@ fn dense_overlapping_cycles_fixpoint() {
     }
     assert!(sys.oracle_live().is_empty());
     let rounds = sys.collect_to_fixpoint(40);
-    assert_eq!(sys.total_live_objects(), 0, "rounds={rounds} {:?}", sys.metrics);
+    assert_eq!(
+        sys.total_live_objects(),
+        0,
+        "rounds={rounds} {:?}",
+        sys.metrics
+    );
     assert_eq!(sys.metrics.safety_violations(), 0);
 }
 

@@ -21,7 +21,10 @@ fn system(mode: IntegrationMode, seed: u64) -> System {
 
 #[test]
 fn both_modes_reach_the_same_final_state() {
-    for mode in [IntegrationMode::VmIntegrated, IntegrationMode::WeakRefMonitor] {
+    for mode in [
+        IntegrationMode::VmIntegrated,
+        IntegrationMode::WeakRefMonitor,
+    ] {
         let mut sys = system(mode, 70);
         let fig = scenarios::fig3(&mut sys);
         sys.remove_root(fig.a).unwrap();

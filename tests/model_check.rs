@@ -18,8 +18,7 @@
 use acdgc::model::{GcConfig, NetConfig, ObjId, ProcId};
 use acdgc::sim::System;
 
-/// Objects: a0, a1 in P0; b in P1; c in P2.
-const N_OBJECTS: usize = 4;
+// Objects: a0, a1 in P0; b in P1; c in P2 — four in total.
 
 /// Candidate edges (from, to) as indices into the object array. The first
 /// two are local (within P0); the rest are remote.
@@ -117,7 +116,12 @@ fn spot_check_the_hardest_configuration() {
     let (mut sys, _objs) = build((1 << EDGES.len()) - 1, 0);
     assert!(sys.oracle_live().is_empty());
     let rounds = sys.collect_to_fixpoint(16);
-    assert_eq!(sys.total_live_objects(), 0, "rounds={rounds} {:?}", sys.metrics);
+    assert_eq!(
+        sys.total_live_objects(),
+        0,
+        "rounds={rounds} {:?}",
+        sys.metrics
+    );
     assert_eq!(sys.metrics.safety_violations(), 0);
 }
 

@@ -33,10 +33,17 @@ fn threaded_run_collects_garbage_ring() {
         0,
         "threads collected the ring: lgc={} cycles={} cdms={}",
         stats.lgc_runs.load(std::sync::atomic::Ordering::Relaxed),
-        stats.cycles_detected.load(std::sync::atomic::Ordering::Relaxed),
+        stats
+            .cycles_detected
+            .load(std::sync::atomic::Ordering::Relaxed),
         stats.cdms_sent.load(std::sync::atomic::Ordering::Relaxed),
     );
-    assert!(stats.cycles_detected.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+    assert!(
+        stats
+            .cycles_detected
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
 }
 
 #[test]
@@ -66,7 +73,9 @@ fn threaded_run_handles_fig4_mutual_cycles() {
         live,
         0,
         "cycles={}",
-        stats.cycles_detected.load(std::sync::atomic::Ordering::Relaxed)
+        stats
+            .cycles_detected
+            .load(std::sync::atomic::Ordering::Relaxed)
     );
 }
 

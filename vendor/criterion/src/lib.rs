@@ -1,0 +1,332 @@
+//! Offline stand-in for `criterion` (subset).
+//!
+//! Keeps the `criterion_group!` / `criterion_main!` / `benchmark_group`
+//! API shape but measures with plain wall-clock sampling: each benchmark
+//! is calibrated to a minimum sample duration, timed for `sample_size`
+//! samples, and reported as min/mean/median on stdout plus a
+//! machine-readable JSON line under `target/criterion-stub/<group>/`.
+//! There is no statistical analysis, outlier detection, or HTML report.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const MIN_SAMPLE_TIME: Duration = Duration::from_millis(2);
+const MAX_CALIBRATED_ITERS: u64 = 100_000;
+
+/// Benchmark identifier: a function name plus a displayed parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match &self.parameter {
+            Some(p) => format!("{}/{}", self.name, p),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// Units processed per iteration, for derived rates in the report.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// How much setup output `iter_batched` should amortize per sample.
+/// The stub runs one routine call per sample regardless.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_count: usize,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Self {
+        Bencher {
+            samples: Vec::with_capacity(sample_count),
+            sample_count,
+            iters_per_sample: 1,
+        }
+    }
+
+    /// Time `routine`, auto-calibrating iterations per sample so fast
+    /// routines are measured over a resolvable window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the per-sample iteration count until one sample
+        // spans MIN_SAMPLE_TIME.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MIN_SAMPLE_TIME || iters >= MAX_CALIBRATED_ITERS {
+                break;
+            }
+            iters = (iters * 4).min(MAX_CALIBRATED_ITERS);
+        }
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters as u32);
+        }
+    }
+
+    /// Time `routine` over fresh `setup` output, setup excluded from the
+    /// measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        self.iters_per_sample = 1;
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        let mut sorted = b.samples.clone();
+        sorted.sort();
+        if sorted.is_empty() {
+            return;
+        }
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let total: Duration = sorted.iter().sum();
+        let mean = total / sorted.len() as u32;
+        let label = format!("{}/{}", self.name, id.label());
+        let rate = self.throughput.map(|t| {
+            let per_sec = |units: u64| units as f64 / mean.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Elements(n) => format!("{:.3e} elem/s", per_sec(n)),
+                Throughput::Bytes(n) => format!("{:.3e} B/s", per_sec(n)),
+            }
+        });
+        println!(
+            "{label:<55} time: [{} {} {}]{}",
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(median),
+            rate.map(|r| format!(" thrpt: [{r}]")).unwrap_or_default()
+        );
+        self.write_json(id, b, min, mean, median);
+    }
+
+    fn write_json(
+        &self,
+        id: &BenchmarkId,
+        b: &Bencher,
+        min: Duration,
+        mean: Duration,
+        median: Duration,
+    ) {
+        use serde_json::json;
+        let dir = std::path::Path::new("target")
+            .join("criterion-stub")
+            .join(&self.name);
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let value = json!({
+            "group": self.name.clone(),
+            "id": id.label(),
+            "min_ns": min.as_nanos() as u64,
+            "mean_ns": mean.as_nanos() as u64,
+            "median_ns": median.as_nanos() as u64,
+            "samples": b.samples.len(),
+            "iters_per_sample": b.iters_per_sample
+        });
+        let file = dir.join(format!("{}.json", id.label().replace('/', "_")));
+        let _ = std::fs::write(
+            file,
+            serde_json::to_string_pretty(&value).unwrap_or_default(),
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.benchmark_group(name.to_string())
+            .bench_function(name, f);
+        self
+    }
+
+    /// CLI args are accepted and ignored (`cargo bench` passes
+    /// `--bench`); kept for call-site parity.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Declare a benchmark group function runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub_selftest");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("spin", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).map(black_box).sum::<u64>())
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

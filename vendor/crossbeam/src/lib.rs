@@ -1,0 +1,148 @@
+//! Offline stand-in for `crossbeam` (channel subset).
+//!
+//! Backs `channel::unbounded` / `channel::bounded` with `std::sync::mpsc`.
+//! The `Sender` is an enum over the two std sender flavours so both
+//! constructors hand out the same type, as crossbeam does.
+
+pub mod channel {
+    use std::fmt;
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, TryRecvError};
+
+    /// Sending half of a channel.
+    #[derive(Debug)]
+    pub enum Sender<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    // Manual impl: the std senders are Clone for any T; a derive would
+    // wrongly demand `T: Clone`.
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Sender::Unbounded(tx) => Sender::Unbounded(tx.clone()),
+                Sender::Bounded(tx) => Sender::Bounded(tx.clone()),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    /// Error from [`Sender::send`]: the receiver disconnected.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error from [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// Bounded channel at capacity.
+        Full(T),
+        /// Receiver disconnected.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send, blocking while a bounded channel is full.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            match self {
+                Sender::Unbounded(tx) => tx.send(msg).map_err(|e| SendError(e.0)),
+                Sender::Bounded(tx) => tx.send(msg).map_err(|e| SendError(e.0)),
+            }
+        }
+
+        /// Send without blocking; fails with `Full` when a bounded channel
+        /// is at capacity.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            match self {
+                Sender::Unbounded(tx) => tx.send(msg).map_err(|e| TrySendError::Disconnected(e.0)),
+                Sender::Bounded(tx) => tx.try_send(msg).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+
+        pub fn try_iter(&self) -> mpsc::TryIter<'_, T> {
+            self.inner.try_iter()
+        }
+    }
+
+    /// Channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender::Unbounded(tx), Receiver { inner: rx })
+    }
+
+    /// Channel holding at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender::Bounded(tx), Receiver { inner: rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, TryRecvError, TrySendError};
+
+    #[test]
+    fn unbounded_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn bounded_reports_full() {
+        let (tx, rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert_eq!(tx.try_send(9), Err(TrySendError::Disconnected(9)));
+    }
+}

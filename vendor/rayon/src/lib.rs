@@ -1,0 +1,186 @@
+//! Offline stand-in for `rayon` (subset).
+//!
+//! Provides `par_iter` / `par_iter_mut` over slices with `for_each` and
+//! `map`+`collect`-style fold helpers, executed on scoped OS threads —
+//! one chunk per available core — instead of a work-stealing pool. This
+//! preserves rayon's semantics (disjoint &mut access, Sync closures,
+//! deterministic chunking) at the cost of per-call thread spawn overhead,
+//! which is amortized by the chunk sizes used in this workspace.
+
+use std::num::NonZeroUsize;
+
+fn worker_count(len: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(len).max(1)
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Apply `f` to every element, in parallel across chunks.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut T) + Sync,
+    {
+        let len = self.slice.len();
+        if len == 0 {
+            return;
+        }
+        let workers = worker_count(len);
+        if workers == 1 {
+            for item in self.slice {
+                f(item);
+            }
+            return;
+        }
+        let chunk = len.div_ceil(workers);
+        std::thread::scope(|scope| {
+            for part in self.slice.chunks_mut(chunk) {
+                let f = &f;
+                scope.spawn(move || {
+                    for item in part {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Map every element and collect results in input order.
+    pub fn map<R, F>(self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&'a mut T) -> R + Sync,
+    {
+        let len = self.slice.len();
+        let mut out: Vec<Option<R>> = Vec::with_capacity(len);
+        out.resize_with(len, || None);
+        if len == 0 {
+            return Vec::new();
+        }
+        let workers = worker_count(len);
+        let chunk = len.div_ceil(workers);
+        if workers == 1 {
+            for (slot, item) in out.iter_mut().zip(self.slice) {
+                *slot = Some(f(item));
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for (part, out_part) in self.slice.chunks_mut(chunk).zip(out.chunks_mut(chunk)) {
+                    let f = &f;
+                    scope.spawn(move || {
+                        for (slot, item) in out_part.iter_mut().zip(part) {
+                            *slot = Some(f(item));
+                        }
+                    });
+                }
+            });
+        }
+        out.into_iter()
+            .map(|v| v.expect("worker filled slot"))
+            .collect()
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        let len = self.slice.len();
+        if len == 0 {
+            return;
+        }
+        let workers = worker_count(len);
+        if workers == 1 {
+            for item in self.slice {
+                f(item);
+            }
+            return;
+        }
+        let chunk = len.div_ceil(workers);
+        std::thread::scope(|scope| {
+            for part in self.slice.chunks(chunk) {
+                let f = &f;
+                scope.spawn(move || {
+                    for item in part {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Slice extension providing `par_iter_mut`, as rayon's
+/// `IntoParallelRefMutIterator` does for `Vec`/slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+/// Slice extension providing `par_iter`.
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { slice: self }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn par_iter_mut_touches_every_element_once() {
+        let mut v: Vec<u64> = (0..1000).collect();
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 + 1));
+    }
+
+    #[test]
+    fn par_iter_sums() {
+        let v: Vec<u64> = (0..100).collect();
+        let total = AtomicU64::new(0);
+        v.par_iter().for_each(|&x| {
+            total.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(total.into_inner(), 4950);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let mut v: Vec<u64> = (0..57).collect();
+        let doubled = v.par_iter_mut().map(|x| *x * 2);
+        assert_eq!(doubled, (0..57).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_slice_is_fine() {
+        let mut v: Vec<u64> = Vec::new();
+        v.par_iter_mut().for_each(|_| unreachable!());
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde` (marker subset).
+//!
+//! Provides the `Serialize` / `Deserialize` *names* — as traits for bound
+//! positions and as re-exported derive macros for `#[derive(..)]` sites.
+//! No actual serialization machinery exists; nothing in this workspace
+//! drives a serde `Serializer` (JSON output goes through the vendored
+//! `serde_json` stub's `Value` type directly).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on config and metric
+//! types but never routes them through a serde `Serializer` at runtime
+//! (the only JSON producer is the vendored `serde_json` stub, which builds
+//! `Value`s from primitives). The derives therefore only need to *exist*;
+//! expanding to an empty token stream is a valid derive expansion and
+//! keeps every `#[derive(Serialize, Deserialize)]` site compiling
+//! unchanged.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

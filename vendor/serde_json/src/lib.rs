@@ -1,0 +1,333 @@
+//! Offline stand-in for `serde_json` (subset).
+//!
+//! Covers what the experiments harness needs: building [`Value`] trees via
+//! the [`json!`] macro and `From` conversions, an insertion-ordered
+//! [`Map`], and [`to_string_pretty`]. There is no parser and no serde
+//! bridge — values are constructed programmatically from primitives.
+
+use std::fmt;
+
+/// An insertion-ordered string-keyed object map.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Insert, replacing any existing entry with the same key in place.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+/// JSON number: integers kept exact, everything else as f64.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    I64(i64),
+    U64(u64),
+    F64(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::I64(v) => write!(f, "{v}"),
+            Number::U64(v) => write!(f, "{v}"),
+            Number::F64(v) => {
+                if v.is_finite() {
+                    // Mirror serde_json: emit a decimal point so the value
+                    // round-trips as a float.
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        write!(f, "{v:.1}")
+                    } else {
+                        write!(f, "{v}")
+                    }
+                } else {
+                    // serde_json writes null for non-finite floats.
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}
+
+/// A JSON value tree.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+macro_rules! impl_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number::I64(v as i64)) }
+        }
+    )*};
+}
+macro_rules! impl_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number::U64(v as u64)) }
+        }
+    )*};
+}
+impl_from_signed!(i8, i16, i32, i64, isize);
+impl_from_unsigned!(u8, u16, u32, u64, usize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::F64(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::F64(v as f64))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<Map> for Value {
+    fn from(v: Map) -> Value {
+        Value::Object(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+/// Serialization error (the stub never fails; kept for signature parity).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json stub error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_pretty(value: &Value, out: &mut String, indent: usize) {
+    const STEP: usize = 2;
+    let pad = |out: &mut String, n: usize| out.push_str(&" ".repeat(n));
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                pad(out, indent + STEP);
+                write_pretty(item, out, indent + STEP);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            pad(out, indent);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            let n = map.len();
+            for (i, (k, v)) in map.iter().enumerate() {
+                pad(out, indent + STEP);
+                escape_into(out, k);
+                out.push_str(": ");
+                write_pretty(v, out, indent + STEP);
+                if i + 1 < n {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            pad(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+/// Pretty-print a [`Value`] with two-space indentation.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(value, &mut out, 0);
+    Ok(out)
+}
+
+/// Build a [`Value`] from JSON-ish syntax. Supports object and array
+/// literals (with arbitrary Rust expressions in value position), `null`,
+/// and expressions convertible into `Value` via `From`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        #![allow(clippy::vec_init_then_push)]
+        #[allow(unused_mut)]
+        let mut items: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json_internal!(@arr items ( $($tt)* ));
+        $crate::Value::Array(items)
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $crate::json_internal!(@obj map ( $($tt)* ));
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Token muncher behind [`json!`]: accumulates value tokens until a
+/// top-level comma, so value position accepts full Rust expressions
+/// (delimited groups hide their inner commas as single token trees).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // -- objects ----------------------------------------------------------
+    (@obj $map:ident ()) => {};
+    (@obj $map:ident ( $key:tt : $($rest:tt)* )) => {
+        $crate::json_internal!(@val $map $key () $($rest)*)
+    };
+    (@val $map:ident $key:tt ($($acc:tt)*) , $($rest:tt)*) => {
+        $map.insert(($key).to_string(), $crate::json!($($acc)*));
+        $crate::json_internal!(@obj $map ( $($rest)* ));
+    };
+    (@val $map:ident $key:tt ($($acc:tt)*)) => {
+        $map.insert(($key).to_string(), $crate::json!($($acc)*));
+    };
+    (@val $map:ident $key:tt ($($acc:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_internal!(@val $map $key ($($acc)* $next) $($rest)*)
+    };
+    // -- arrays -----------------------------------------------------------
+    (@arr $items:ident ()) => {};
+    (@arr $items:ident ( $($tt:tt)* )) => {
+        $crate::json_internal!(@elem $items () $($tt)*)
+    };
+    (@elem $items:ident ($($acc:tt)*) , $($rest:tt)*) => {
+        $items.push($crate::json!($($acc)*));
+        $crate::json_internal!(@arr $items ( $($rest)* ));
+    };
+    (@elem $items:ident ($($acc:tt)*)) => {
+        $items.push($crate::json!($($acc)*));
+    };
+    (@elem $items:ident ($($acc:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_internal!(@elem $items ($($acc)* $next) $($rest)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let rows = vec![json!({ "a": 1, "b": 2.5 })];
+        let v = json!({ "rows": rows, "name": "x", "flag": true, "none": null });
+        let Value::Object(m) = &v else { panic!() };
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.get("name"), Some(&Value::String("x".into())));
+    }
+
+    #[test]
+    fn pretty_output_is_valid_json_shape() {
+        let v = json!({ "k": [1, 2], "s": "a\"b" });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.starts_with("{\n"));
+        assert!(s.contains("\"k\": [\n"));
+        assert!(s.contains("\\\"b\""));
+        assert!(s.ends_with('}'));
+    }
+
+    #[test]
+    fn map_insert_replaces_in_place() {
+        let mut m = Map::new();
+        m.insert("a".into(), json!(1));
+        m.insert("b".into(), json!(2));
+        let old = m.insert("a".into(), json!(3));
+        assert_eq!(old, Some(json!(1)));
+        let keys: Vec<&String> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["a", "b"]);
+    }
+}
