@@ -15,6 +15,12 @@ use rustc_hash::FxHashMap;
 #[derive(Clone, Debug, Default)]
 pub struct CandidateState {
     last_attempt: FxHashMap<RefId, SimTime>,
+    /// How many times each scion has been picked. Drives the exponential
+    /// retry backoff: a detection whose CDMs were lost leaves no trace at
+    /// the initiator, so failures are indistinguishable from slowness and
+    /// every attempt is treated as a failure until the scion disappears
+    /// (success deletes it; `retain_known` then clears both maps).
+    attempts: FxHashMap<RefId, u32>,
 }
 
 impl CandidateState {
@@ -25,12 +31,30 @@ impl CandidateState {
     /// Forget attempts for scions no longer present (bounds memory).
     pub fn retain_known(&mut self, summary: &SummarizedGraph) {
         self.last_attempt.retain(|r, _| summary.scion(*r).is_some());
+        self.attempts.retain(|r, _| summary.scion(*r).is_some());
     }
 
     /// Number of scions currently under backoff bookkeeping.
     pub fn tracked(&self) -> usize {
         self.last_attempt.len()
     }
+
+    /// Detection attempts recorded for `scion` so far.
+    pub fn attempts_for(&self, scion: RefId) -> u32 {
+        self.attempts.get(&scion).copied().unwrap_or(0)
+    }
+}
+
+/// Result of one candidate scan.
+#[derive(Clone, Debug, Default)]
+pub struct CandidateScan {
+    /// Scions to initiate detections from, most-stale first.
+    pub picked: Vec<RefId>,
+    /// Scions that are eligible but were *not* picked this scan — still
+    /// inside their retry backoff window, or cut by
+    /// `max_candidates_per_scan`. Nonzero means detection work is pending:
+    /// a quiescence protocol must not declare this process quiet.
+    pub deferred: usize,
 }
 
 /// Pick scions worth starting a detection from, most-stale first:
@@ -39,14 +63,20 @@ impl CandidateState {
 /// * at least one stub transitively reachable (a distributed cycle needs an
 ///   outgoing path),
 /// * not invoked for `candidate_age`,
-/// * not attempted within `candidate_backoff`,
+/// * outside its retry backoff window ([`GcConfig::backoff_for`],
+///   exponential in the number of prior attempts, capped),
 /// * at most `max_candidates_per_scan`.
-pub fn select_candidates(
+///
+/// Besides the picked scions, reports how many eligible scions were
+/// deferred (backoff or scan cap) so callers can tell "nothing to do"
+/// apart from "work pending but throttled".
+pub fn scan_candidates(
     summary: &SummarizedGraph,
     state: &mut CandidateState,
     now: SimTime,
     cfg: &GcConfig,
-) -> Vec<RefId> {
+) -> CandidateScan {
+    let mut deferred = 0usize;
     let mut eligible: Vec<(&SimTime, RefId)> = Vec::new();
     for scion in summary.scions.values() {
         if scion.target_locally_reachable {
@@ -59,7 +89,9 @@ pub fn select_candidates(
             continue;
         }
         if let Some(last) = state.last_attempt.get(&scion.ref_id) {
-            if now.since(*last) < cfg.candidate_backoff {
+            let tried = state.attempts.get(&scion.ref_id).copied().unwrap_or(1);
+            if now.since(*last) < cfg.backoff_for(tried) {
+                deferred += 1;
                 continue;
             }
         }
@@ -67,12 +99,24 @@ pub fn select_candidates(
     }
     // Most-stale first; RefId tiebreak for determinism.
     eligible.sort_unstable_by_key(|(t, r)| (**t, *r));
+    deferred += eligible.len().saturating_sub(cfg.max_candidates_per_scan);
     eligible.truncate(cfg.max_candidates_per_scan);
     let picked: Vec<RefId> = eligible.into_iter().map(|(_, r)| r).collect();
     for &r in &picked {
         state.last_attempt.insert(r, now);
+        *state.attempts.entry(r).or_insert(0) += 1;
     }
-    picked
+    CandidateScan { picked, deferred }
+}
+
+/// [`scan_candidates`] without the deferred-work report.
+pub fn select_candidates(
+    summary: &SummarizedGraph,
+    state: &mut CandidateState,
+    now: SimTime,
+    cfg: &GcConfig,
+) -> Vec<RefId> {
+    scan_candidates(summary, state, now, cfg).picked
 }
 
 #[cfg(test)]
@@ -159,6 +203,59 @@ mod tests {
         let mut state = CandidateState::new();
         let picked = select_candidates(&s, &mut state, SimTime(10_000), &cfg());
         assert_eq!(picked, vec![RefId(2), RefId(3)], "two most stale");
+    }
+
+    #[test]
+    fn repeated_failures_back_off_exponentially() {
+        let s = summary_with(vec![(1, false, 1, 0)]);
+        let mut state = CandidateState::new();
+        let cfg = GcConfig {
+            candidate_age: SimDuration(0),
+            candidate_backoff: SimDuration(500),
+            candidate_backoff_max: SimDuration(1_500),
+            max_candidates_per_scan: 2,
+            ..GcConfig::default()
+        };
+        // Attempt 1 at t=1000; attempt 2 allowed 500 later.
+        assert_eq!(
+            scan_candidates(&s, &mut state, SimTime(1_000), &cfg).picked,
+            vec![RefId(1)]
+        );
+        assert_eq!(
+            scan_candidates(&s, &mut state, SimTime(1_500), &cfg).picked,
+            vec![RefId(1)]
+        );
+        // After 2 attempts the window doubles to 1000.
+        let scan = scan_candidates(&s, &mut state, SimTime(2_400), &cfg);
+        assert!(scan.picked.is_empty(), "900 < doubled backoff of 1000");
+        assert_eq!(scan.deferred, 1, "throttled scion reported as deferred");
+        assert_eq!(
+            scan_candidates(&s, &mut state, SimTime(2_500), &cfg).picked,
+            vec![RefId(1)]
+        );
+        // After 3 attempts the window would be 2000 but caps at 1500.
+        assert!(scan_candidates(&s, &mut state, SimTime(3_900), &cfg)
+            .picked
+            .is_empty());
+        assert_eq!(
+            scan_candidates(&s, &mut state, SimTime(4_000), &cfg).picked,
+            vec![RefId(1)],
+            "capped backoff keeps retries coming"
+        );
+        assert_eq!(state.attempts_for(RefId(1)), 4);
+    }
+
+    #[test]
+    fn scan_cap_overflow_counts_as_deferred() {
+        let s = summary_with(vec![
+            (1, false, 1, 300),
+            (2, false, 1, 100),
+            (3, false, 1, 200),
+        ]);
+        let mut state = CandidateState::new();
+        let scan = scan_candidates(&s, &mut state, SimTime(10_000), &cfg());
+        assert_eq!(scan.picked.len(), 2);
+        assert_eq!(scan.deferred, 1, "third eligible scion cut by the cap");
     }
 
     #[test]

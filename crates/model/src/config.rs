@@ -51,9 +51,18 @@ pub struct GcConfig {
     /// A scion is a cycle candidate only if it has not been invoked for at
     /// least this long (§2.1: "not invoked for a certain amount of time").
     pub candidate_age: SimDuration,
-    /// Do not re-initiate detection from the same scion more often than
-    /// this.
+    /// Base delay before re-initiating detection from the same scion. A
+    /// detection whose CDMs died to message loss leaves no trace at the
+    /// initiator (CDMs are unacknowledged by design), so the only complete
+    /// recovery is to retry; successive retries back off exponentially
+    /// from this base (see [`GcConfig::backoff_for`]).
     pub candidate_backoff: SimDuration,
+    /// Hard cap on the exponential candidate backoff. Retries are never
+    /// suppressed outright — under arbitrary GC-message loss that would
+    /// forfeit completeness — they just space out, and this bound keeps
+    /// the worst-case retry cadence (hence reclamation delay per lost
+    /// CDM) finite and configurable.
+    pub candidate_backoff_max: SimDuration,
     /// Maximum number of detections initiated per scan.
     pub max_candidates_per_scan: usize,
     /// How stub liveness reaches the reference-listing layer.
@@ -118,6 +127,16 @@ pub struct GcConfig {
     /// blocking a worker that may hold its own process lock; drops are
     /// surfaced in `ThreadedStats`.
     pub channel_capacity: usize,
+    /// Threaded runtime: number of consecutive *quiet* sweeps (no frees,
+    /// no stub deaths, no sends, no receipts, no pending retries) a worker
+    /// observes before casting its quiescence vote. Higher values trade
+    /// shutdown latency for robustness against transient lulls.
+    pub quiet_sweeps: u32,
+    /// Threaded runtime: resend an unacknowledged `NewSetStubs` after this
+    /// many sweeps. The acyclic layer's messages are acknowledged (and
+    /// retried until confirmed) because a lost final NSS would leak
+    /// acyclic garbage forever — the cycle detector cannot reclaim it.
+    pub nss_retry_sweeps: u32,
 }
 
 impl Default for GcConfig {
@@ -129,6 +148,7 @@ impl Default for GcConfig {
             monitor_period: SimDuration::from_millis(20),
             candidate_age: SimDuration::from_millis(150),
             candidate_backoff: SimDuration::from_millis(200),
+            candidate_backoff_max: SimDuration::from_millis(800),
             max_candidates_per_scan: 4,
             integration: IntegrationMode::VmIntegrated,
             ic_barrier: true,
@@ -142,6 +162,8 @@ impl Default for GcConfig {
             summarizer: SummarizerKind::SccEngine,
             parallel_snapshots: true,
             channel_capacity: 1_024,
+            quiet_sweeps: 16,
+            nss_retry_sweeps: 8,
         }
     }
 }
@@ -155,8 +177,26 @@ impl GcConfig {
             scan_period: SimDuration(u64::MAX / 4),
             candidate_age: SimDuration::ZERO,
             candidate_backoff: SimDuration::ZERO,
+            candidate_backoff_max: SimDuration::ZERO,
             ..GcConfig::default()
         }
+    }
+
+    /// Backoff before attempt number `attempts + 1` of a detection from a
+    /// scion already tried `attempts` times: `candidate_backoff`
+    /// doubled per failed attempt, hard-capped at `candidate_backoff_max`
+    /// (never below the base). Retries never stop — only a *successful*
+    /// detection (which deletes the scion) or the scion leaving the
+    /// summary ends them — so message loss delays reclamation but cannot
+    /// forfeit it.
+    pub fn backoff_for(&self, attempts: u32) -> SimDuration {
+        let base = self.candidate_backoff.as_ticks();
+        if attempts <= 1 || base == 0 {
+            return self.candidate_backoff;
+        }
+        let cap = self.candidate_backoff_max.as_ticks().max(base);
+        let factor = 1u64 << (attempts - 1).min(32);
+        SimDuration(base.saturating_mul(factor).min(cap))
     }
 }
 
@@ -221,6 +261,37 @@ mod tests {
         assert!(cfg.branch_termination);
         assert!(cfg.instrument_remoting);
         assert!(cfg.max_hops > 0);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_to_cap() {
+        let cfg = GcConfig {
+            candidate_backoff: SimDuration(100),
+            candidate_backoff_max: SimDuration(650),
+            ..GcConfig::default()
+        };
+        assert_eq!(cfg.backoff_for(0), SimDuration(100));
+        assert_eq!(cfg.backoff_for(1), SimDuration(100));
+        assert_eq!(cfg.backoff_for(2), SimDuration(200));
+        assert_eq!(cfg.backoff_for(3), SimDuration(400));
+        assert_eq!(cfg.backoff_for(4), SimDuration(650), "capped");
+        assert_eq!(cfg.backoff_for(u32::MAX), SimDuration(650), "no overflow");
+    }
+
+    #[test]
+    fn backoff_cap_never_undercuts_base() {
+        let cfg = GcConfig {
+            candidate_backoff: SimDuration(500),
+            candidate_backoff_max: SimDuration(10), // misconfigured below base
+            ..GcConfig::default()
+        };
+        assert_eq!(cfg.backoff_for(5), SimDuration(500));
+    }
+
+    #[test]
+    fn zero_backoff_stays_zero() {
+        let cfg = GcConfig::manual();
+        assert_eq!(cfg.backoff_for(10), SimDuration::ZERO);
     }
 
     #[test]

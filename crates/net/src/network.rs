@@ -139,7 +139,16 @@ impl<M: Clone> Network<M> {
     fn latency(&mut self) -> SimDuration {
         let lo = self.config.min_latency.as_ticks();
         let hi = self.config.max_latency.as_ticks();
-        if hi <= lo {
+        debug_assert!(
+            lo <= hi,
+            "NetConfig: min_latency ({lo}) > max_latency ({hi}); \
+             release builds clamp the band to min_latency"
+        );
+        // Explicit clamp for the misconfigured (or degenerate lo == hi)
+        // case: collapse the band to `min_latency` rather than panicking
+        // in gen_range or silently inverting the bounds.
+        let hi = hi.max(lo);
+        if hi == lo {
             SimDuration(lo)
         } else {
             SimDuration(self.rng.gen_range(lo..=hi))
@@ -158,6 +167,14 @@ impl<M: Clone> Network<M> {
     ) -> SendOutcome {
         self.stats.sent += 1;
         self.stats.bytes_sent += size_bytes as u64;
+        // Classify before any drop decision: GC-overhead accounting means
+        // "GC bytes offered to the wire", so a partitioned GC send must
+        // still count (loss-sweep experiments under partitions would
+        // otherwise misreport collector overhead).
+        if class == MessageClass::Gc {
+            self.stats.gc_sent += 1;
+            self.stats.gc_bytes_sent += size_bytes as u64;
+        }
         if self.partitions.contains(&(src, dst)) {
             // A severed link loses everything, application traffic
             // included (unlike probabilistic loss, which models collector
@@ -165,16 +182,13 @@ impl<M: Clone> Network<M> {
             self.stats.dropped += 1;
             return SendOutcome::Dropped;
         }
-        if class == MessageClass::Gc {
-            self.stats.gc_sent += 1;
-            self.stats.gc_bytes_sent += size_bytes as u64;
-            if self
+        if class == MessageClass::Gc
+            && self
                 .rng
                 .gen_bool(self.config.gc_drop_probability.clamp(0.0, 1.0))
-            {
-                self.stats.dropped += 1;
-                return SendOutcome::Dropped;
-            }
+        {
+            self.stats.dropped += 1;
+            return SendOutcome::Dropped;
         }
         let mut copies = 1u8;
         if class == MessageClass::Gc
@@ -385,6 +399,61 @@ mod tests {
         assert_eq!(n.stats().bytes_sent, 150);
         assert_eq!(n.stats().gc_bytes_sent, 100);
         assert_eq!(n.stats().gc_sent, 1);
+    }
+
+    #[test]
+    fn partitioned_gc_send_still_counts_as_gc_overhead() {
+        let mut n = net(NetConfig::instant(), 1);
+        n.partition(ProcId(0), ProcId(1));
+        let out = n.send(SimTime(0), ProcId(0), ProcId(1), MessageClass::Gc, 64, 1);
+        assert_eq!(out, SendOutcome::Dropped);
+        let stats = n.stats();
+        assert_eq!(stats.gc_sent, 1, "GC classification precedes the cut");
+        assert_eq!(stats.gc_bytes_sent, 64);
+        assert_eq!(stats.dropped, 1);
+        // Application traffic on the same severed link stays out of the
+        // GC ledger.
+        n.send(
+            SimTime(0),
+            ProcId(0),
+            ProcId(1),
+            MessageClass::Application,
+            32,
+            2,
+        );
+        assert_eq!(n.stats().gc_sent, 1);
+        assert_eq!(n.stats().gc_bytes_sent, 64);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "min_latency")]
+    fn inverted_latency_band_asserts_in_debug() {
+        let cfg = NetConfig {
+            min_latency: SimDuration::from_micros(500),
+            max_latency: SimDuration::from_micros(100),
+            ..NetConfig::default()
+        };
+        let mut n = net(cfg, 1);
+        n.send(SimTime(0), ProcId(0), ProcId(1), MessageClass::Gc, 8, 1);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn inverted_latency_band_clamps_to_min_in_release() {
+        let cfg = NetConfig {
+            min_latency: SimDuration::from_micros(500),
+            max_latency: SimDuration::from_micros(100),
+            ..NetConfig::default()
+        };
+        let mut n = net(cfg, 1);
+        n.send(SimTime(0), ProcId(0), ProcId(1), MessageClass::Gc, 8, 1);
+        let env = n.pop_next().expect("scheduled");
+        assert_eq!(
+            env.deliver_at,
+            SimTime(500),
+            "band collapses to min_latency, not the inverted max"
+        );
     }
 
     #[test]

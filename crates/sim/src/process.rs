@@ -1,7 +1,7 @@
 //! One simulated process: heap + remoting tables + published summary +
 //! detector heuristic state + GC scheduling.
 
-use acdgc_dcda::CandidateState;
+use acdgc_dcda::{scan_candidates, CandidateScan, CandidateState};
 use acdgc_heap::Heap;
 use acdgc_model::{GcConfig, ProcId, SimTime, SummarizerKind};
 use acdgc_remoting::RemotingTables;
@@ -73,6 +73,14 @@ impl Process {
             SummarizerKind::Reference => summarize(&self.heap, &self.tables, version, now),
         };
         self.candidates.retain_known(&self.summary);
+    }
+
+    /// Candidate scan over the published summary: which scions to start
+    /// detections from now, plus how many eligible scions are throttled
+    /// (retry backoff / scan cap). Shared by the sequential and threaded
+    /// runtimes so both see one retry policy.
+    pub fn scan(&mut self, now: SimTime, cfg: &GcConfig) -> CandidateScan {
+        scan_candidates(&self.summary, &mut self.candidates, now, cfg)
     }
 
     /// Earliest scheduled phase time for the event loop.

@@ -4,7 +4,7 @@ use crate::messages::{InvokeSpec, SysMessage};
 use crate::metrics::Metrics;
 use crate::oracle;
 use crate::process::Process;
-use acdgc_dcda::{select_candidates, Cdm, Outcome, TerminateReason};
+use acdgc_dcda::{Cdm, Outcome, TerminateReason};
 use acdgc_heap::{lgc, HeapRef};
 use acdgc_model::{
     GcConfig, IdAllocator, IntegrationMode, ModelError, NetConfig, ObjId, ProcId, RefId,
@@ -578,8 +578,7 @@ impl System {
     /// Candidate scan at `p`: initiate detections for stale scions.
     pub fn run_scan(&mut self, p: ProcId) {
         let now = self.clock;
-        let proc = &mut self.procs[p.index()];
-        let picked = select_candidates(&proc.summary, &mut proc.candidates, now, &self.cfg);
+        let picked = self.procs[p.index()].scan(now, &self.cfg).picked;
         for scion in picked {
             self.initiate_detection(p, scion);
         }

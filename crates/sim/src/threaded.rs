@@ -9,26 +9,72 @@
 //! topology is built up front), mirroring the paper's observation that
 //! detection is lazy, off-line work.
 //!
+//! # Termination: distributed quiescence votes
+//!
+//! A run ends when the system provably has nothing left to do, detected
+//! without global synchronization:
+//!
+//! * each worker tracks per-sweep *activity* — objects freed, stubs
+//!   condemned, messages sent or received, detections initiated, plus
+//!   *pending* work (unacknowledged `NewSetStubs`, candidates inside
+//!   their retry backoff window);
+//! * after [`GcConfig::quiet_sweeps`] consecutive quiet sweeps a worker
+//!   casts one vote and stops sweeping (it keeps draining its inbox);
+//! * a voted worker that receives any message rescinds its vote
+//!   (`fetch_sub`) before processing it and resumes sweeping;
+//! * the run stops when all votes are simultaneously held **and** the
+//!   global enqueue/drain counters balance **and** no rescind raced the
+//!   check — see [`Quiescence::globally_quiet`] for why that conjunction
+//!   cannot observe a message still in flight.
+//!
+//! # Fault model
+//!
+//! The send path runs the same seeded GC-fault injector as the sequential
+//! [`acdgc_net::Network`]: `NetConfig::gc_drop_probability` and
+//! `gc_duplicate_probability` apply to every message here (all threaded
+//! traffic is collector traffic; latency fields are unused — the channel
+//! *is* the latency). On top of injected faults, a full bounded inbox
+//! still drops rather than blocks. Recovery is layered: lost CDMs are
+//! retried by the initiator's exponential candidate backoff; lost
+//! `DeleteScion`s are subsumed by the acyclic layer (the peer whose stub
+//! died republishes a live set without the ref); and lost `NewSetStubs`
+//! are retried until acknowledged, because a final NSS that never lands
+//! would leak acyclic garbage the cycle detector cannot see.
+//!
 //! Cross-process scion pin/unpin — the simulator's substituted SSP
 //! handshake — is not needed here because no references are exported while
 //! the threads run.
 
 use crate::process::Process;
-use acdgc_dcda::{select_candidates, Cdm, Outcome, TerminateReason};
+use acdgc_dcda::{Cdm, Outcome, TerminateReason};
 use acdgc_heap::lgc;
-use acdgc_model::{GcConfig, IntegrationMode, ProcId, RefId, SimTime};
-use acdgc_remoting::{apply_new_set_stubs, build_new_set_stubs};
+use acdgc_model::rng::component_rng;
+use acdgc_model::{DetectionId, GcConfig, IntegrationMode, NetConfig, ProcId, RefId, SimTime};
+use acdgc_remoting::{apply_new_set_stubs, build_new_set_stubs, NewSetStubs};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rustc_hash::FxHashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
 /// Messages exchanged by the threaded runtime.
+#[derive(Clone)]
 enum ThreadMsg {
-    Nss(acdgc_remoting::NewSetStubs),
-    Cdm { via: RefId, cdm: Cdm },
+    Nss(NewSetStubs),
+    /// Confirms receipt of the sender's `NewSetStubs` with this sequence
+    /// number (the ack itself may be lost; the NSS is then resent).
+    NssAck {
+        from: ProcId,
+        seq: u64,
+    },
+    Cdm {
+        via: RefId,
+        cdm: Cdm,
+    },
     DeleteScion(RefId, u32),
 }
 
@@ -41,27 +87,105 @@ pub struct ThreadedStats {
     pub cycles_detected: AtomicU64,
     pub scions_deleted: AtomicU64,
     pub objects_reclaimed: AtomicU64,
-    /// GC messages dropped because a peer's bounded inbox was full (or the
-    /// peer was gone). Dropping instead of blocking keeps a worker that
-    /// holds its own process lock from deadlocking on a slow peer; the
-    /// algorithm tolerates arbitrary GC-message loss, so drops only delay
+    /// GC messages lost per kind: injected by the seeded fault model, or
+    /// dropped because a peer's bounded inbox was full (or the peer was
+    /// gone). Dropping instead of blocking keeps a worker that holds its
+    /// own process lock from deadlocking on a slow peer; the algorithm
+    /// tolerates arbitrary GC-message loss, so drops only delay
     /// reclamation.
     pub nss_dropped: AtomicU64,
     pub cdms_dropped: AtomicU64,
     pub deletes_dropped: AtomicU64,
+    pub acks_dropped: AtomicU64,
+    /// Losses charged to the seeded injector specifically (also counted in
+    /// the per-kind counters above).
+    pub faults_injected: AtomicU64,
+    /// Duplicate deliveries injected by the seeded fault model.
+    pub duplicates_injected: AtomicU64,
+    /// `NewSetStubs` retransmissions (unacknowledged past the retry
+    /// window).
+    pub nss_retries: AtomicU64,
+    /// Quiescence votes cast / rescinded across the run.
+    pub votes_cast: AtomicU64,
+    pub votes_rescinded: AtomicU64,
+    /// 1 if the run ended because every worker held its quiescence vote
+    /// with all channels provably empty; 0 if the deadline backstop fired.
+    pub stopped_by_quiescence: AtomicU64,
 }
 
-/// Send without ever blocking: a full (or disconnected) inbox drops the
-/// message and bumps the matching counter.
-fn send_or_drop(tx: &Sender<ThreadMsg>, msg: ThreadMsg, dropped: &AtomicU64) {
-    if tx.try_send(msg).is_err() {
-        dropped.fetch_add(1, Ordering::Relaxed);
+impl ThreadedStats {
+    /// Whether the run terminated through the quiescence protocol rather
+    /// than the wall-clock deadline backstop.
+    pub fn quiescent(&self) -> bool {
+        self.stopped_by_quiescence.load(Ordering::SeqCst) == 1
+    }
+}
+
+/// Shared state of the termination protocol. All counters are monotone
+/// except `votes`; everything uses `SeqCst` — the protocol's correctness
+/// argument needs a total order over these few operations and the
+/// traffic is a handful of words per sweep.
+struct Quiescence {
+    workers: u64,
+    votes: AtomicU64,
+    /// Total rescind events (monotone). Lets the checker detect a vote
+    /// that was rescinded and re-cast while it was looking.
+    rescinds: AtomicU64,
+    /// Messages successfully placed into a channel (drops excluded).
+    enqueued: AtomicU64,
+    /// Messages taken out of a channel.
+    drained: AtomicU64,
+    stop: AtomicBool,
+}
+
+impl Quiescence {
+    fn new(workers: u64) -> Self {
+        Quiescence {
+            workers,
+            votes: AtomicU64::new(0),
+            rescinds: AtomicU64::new(0),
+            enqueued: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// The global termination predicate. Safe to conclude from any worker:
+    /// if it returns true, every worker holds its vote, no channel holds a
+    /// message, and no worker is mid-processing one.
+    ///
+    /// Why the read order makes the check sound (workers obey: sends only
+    /// happen while unvoted; a voted worker rescinds — votes then
+    /// rescinds counter — *before* counting the drain that woke it, and
+    /// only receives can unvote a worker):
+    ///
+    /// 1. A message enqueued before the `enqueued` read and still
+    ///    undrained fails `enqueued == drained`.
+    /// 2. A message enqueued after it implies its sender was unvoted at
+    ///    that point; the sender was voted at the first `votes` read
+    ///    (all were), so a rescind happened in between — caught by the
+    ///    `rescinds` re-read or the final `votes` re-read.
+    /// 3. A send chain cannot bootstrap after the checks: sweeps are
+    ///    suppressed while voted, unvoting requires a receive, and the
+    ///    root of any receive chain is a message that already fails 1
+    ///    or 2.
+    fn globally_quiet(&self) -> bool {
+        let r1 = self.rescinds.load(Ordering::SeqCst);
+        if self.votes.load(Ordering::SeqCst) != self.workers {
+            return false;
+        }
+        let e = self.enqueued.load(Ordering::SeqCst);
+        let d = self.drained.load(Ordering::SeqCst);
+        e == d
+            && self.rescinds.load(Ordering::SeqCst) == r1
+            && self.votes.load(Ordering::SeqCst) == self.workers
     }
 }
 
 /// Run the GC stack concurrently over pre-built processes until the system
-/// reaches a fixpoint (no live objects change for `quiet_checks` sweeps) or
-/// `deadline` elapses. Returns the processes and the shared stats.
+/// reaches distributed quiescence (every worker votes "nothing left to
+/// do"; see module docs) or `deadline` elapses as a backstop. No faults
+/// are injected. Returns the processes and the shared stats.
 ///
 /// `procs` should come from a [`crate::System`] whose topology was built
 /// sequentially — see `tests/threaded_collection.rs` at the workspace
@@ -71,9 +195,29 @@ pub fn run_concurrent_collection(
     cfg: GcConfig,
     deadline: Duration,
 ) -> (Vec<Process>, Arc<ThreadedStats>) {
+    let reliable = NetConfig {
+        gc_drop_probability: 0.0,
+        gc_duplicate_probability: 0.0,
+        ..NetConfig::instant()
+    };
+    run_concurrent_collection_with_faults(procs, cfg, reliable, 0, deadline)
+}
+
+/// [`run_concurrent_collection`] with a seeded fault injector on the send
+/// path. `net.gc_drop_probability` / `gc_duplicate_probability` apply to
+/// every message (all threaded traffic is GC class); the latency fields
+/// are ignored — channel scheduling is the latency. Same `seed`, same
+/// injected fault decisions per worker send sequence.
+pub fn run_concurrent_collection_with_faults(
+    procs: Vec<Process>,
+    cfg: GcConfig,
+    net: NetConfig,
+    seed: u64,
+    deadline: Duration,
+) -> (Vec<Process>, Arc<ThreadedStats>) {
     let n = procs.len();
     let stats = Arc::new(ThreadedStats::default());
-    let stop = Arc::new(AtomicU64::new(0));
+    let quiescence = Arc::new(Quiescence::new(n as u64));
     let detection_ids = Arc::new(AtomicU64::new(0));
 
     let mut senders: Vec<Sender<ThreadMsg>> = Vec::with_capacity(n);
@@ -94,24 +238,22 @@ pub fn run_concurrent_collection(
     for i in 0..n {
         let cell = Arc::clone(&cells[i]);
         let rx = receivers[i].take().unwrap();
-        let txs = senders.clone();
-        let cfg = cfg.clone();
-        let stats = Arc::clone(&stats);
-        let stop = Arc::clone(&stop);
-        let detection_ids = Arc::clone(&detection_ids);
+        let ctx = WorkerCtx {
+            me: ProcId(i as u16),
+            txs: senders.clone(),
+            cfg: cfg.clone(),
+            net: net.clone(),
+            rng: component_rng(seed, &format!("threaded-faults-{i}")),
+            stats: Arc::clone(&stats),
+            quiescence: Arc::clone(&quiescence),
+            detection_ids: Arc::clone(&detection_ids),
+            nss_out: FxHashMap::default(),
+            round: 0,
+            voted: false,
+            quiet_streak: 0,
+        };
         handles.push(thread::spawn(move || {
-            worker(
-                ProcId(i as u16),
-                cell,
-                rx,
-                txs,
-                cfg,
-                stats,
-                stop,
-                detection_ids,
-                start,
-                deadline,
-            )
+            worker(ctx, cell, rx, start, deadline)
         }));
     }
     for h in handles {
@@ -128,211 +270,378 @@ pub fn run_concurrent_collection(
     (procs, stats)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn worker(
+/// Outbound `NewSetStubs` bookkeeping towards one peer.
+struct NssOutbound {
+    /// Content of the last transmission (sorted live refs).
+    live_refs: Vec<RefId>,
+    /// Sequence number of the last transmission; an ack for an older
+    /// sequence does not confirm newer content.
+    last_seq: u64,
+    acked: bool,
+    /// Sweep index of the last transmission, for retry pacing.
+    sent_round: u64,
+}
+
+/// Per-worker context: everything a worker touches besides its process
+/// cell and inbox.
+struct WorkerCtx {
     me: ProcId,
-    cell: Arc<Mutex<Process>>,
-    rx: Receiver<ThreadMsg>,
     txs: Vec<Sender<ThreadMsg>>,
     cfg: GcConfig,
+    net: NetConfig,
+    rng: SmallRng,
     stats: Arc<ThreadedStats>,
-    stop: Arc<AtomicU64>,
+    quiescence: Arc<Quiescence>,
     detection_ids: Arc<AtomicU64>,
-    start: Instant,
-    deadline: Duration,
-) {
-    let mut round: u64 = 0;
-    let mut voted = false;
-    // Logical local clock: microseconds since start. Only used for the
-    // NewSetStubs horizon and candidate ages; never compared across
-    // processes by the algorithm.
-    let now = |start: Instant| SimTime(start.elapsed().as_micros() as u64 + 1);
+    nss_out: FxHashMap<ProcId, NssOutbound>,
+    round: u64,
+    voted: bool,
+    quiet_streak: u32,
+}
 
-    while stop.load(Ordering::Acquire) < txs.len() as u64 && start.elapsed() < deadline {
-        round += 1;
+/// How a drained message should be handled.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum DrainMode {
+    /// Normal in-loop drain: process everything, acknowledge NSS.
+    Live,
+    /// Post-stop drain: apply idempotent state (NSS, scion deletes) so
+    /// buffered messages from peers that stopped after us are not lost,
+    /// but discard CDMs (no peers remain to continue a walk) and send
+    /// nothing.
+    Final,
+}
 
-        // Drain the inbox.
+/// Which per-kind drop counter a loss is charged to.
+#[derive(Clone, Copy)]
+enum MsgKind {
+    Nss,
+    Ack,
+    Cdm,
+    Delete,
+}
+
+impl WorkerCtx {
+    fn drop_counter(&self, kind: MsgKind) -> &AtomicU64 {
+        match kind {
+            MsgKind::Nss => &self.stats.nss_dropped,
+            MsgKind::Ack => &self.stats.acks_dropped,
+            MsgKind::Cdm => &self.stats.cdms_dropped,
+            MsgKind::Delete => &self.stats.deletes_dropped,
+        }
+    }
+
+    /// Send through the seeded fault injector; a full (or disconnected)
+    /// inbox also drops. Every accepted copy is counted into the
+    /// quiescence enqueue ledger.
+    fn send(&mut self, dest: ProcId, msg: ThreadMsg, kind: MsgKind) {
+        if self
+            .rng
+            .gen_bool(self.net.gc_drop_probability.clamp(0.0, 1.0))
+        {
+            self.stats.faults_injected.fetch_add(1, Ordering::Relaxed);
+            self.drop_counter(kind).fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let copies = if self
+            .rng
+            .gen_bool(self.net.gc_duplicate_probability.clamp(0.0, 1.0))
+        {
+            self.stats
+                .duplicates_injected
+                .fetch_add(1, Ordering::Relaxed);
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            if self.txs[dest.index()].try_send(msg.clone()).is_ok() {
+                self.quiescence.enqueued.fetch_add(1, Ordering::SeqCst);
+            } else {
+                self.drop_counter(kind).fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drain the inbox, processing every message per `mode`. Returns how
+    /// many messages were drained. The single implementation for the
+    /// in-loop and final drains keeps their stats accounting identical by
+    /// construction.
+    fn drain(
+        &mut self,
+        cell: &Arc<Mutex<Process>>,
+        rx: &Receiver<ThreadMsg>,
+        mode: DrainMode,
+    ) -> u64 {
+        let mut drained = 0u64;
         while let Ok(msg) = rx.try_recv() {
+            if self.voted && mode == DrainMode::Live {
+                // Rescind BEFORE the drain is counted: the quiescence
+                // checker relies on "a voted worker's receive is preceded
+                // by a rescind" to rule out hidden activity.
+                self.quiescence.votes.fetch_sub(1, Ordering::SeqCst);
+                self.quiescence.rescinds.fetch_add(1, Ordering::SeqCst);
+                self.stats.votes_rescinded.fetch_add(1, Ordering::Relaxed);
+                self.voted = false;
+                self.quiet_streak = 0;
+            }
+            self.quiescence.drained.fetch_add(1, Ordering::SeqCst);
+            drained += 1;
             match msg {
                 ThreadMsg::Nss(nss) => {
-                    let mut p = cell.lock();
-                    apply_new_set_stubs(&mut p.tables, &nss);
+                    let (from, seq) = (nss.from, nss.seq);
+                    {
+                        let mut p = cell.lock();
+                        apply_new_set_stubs(&mut p.tables, &nss);
+                    }
+                    if mode == DrainMode::Live {
+                        // Ack even stale sequences: the receiver already
+                        // holds fresher information, so the sender may
+                        // stop retrying this transmission.
+                        let me = self.me;
+                        self.send(from, ThreadMsg::NssAck { from: me, seq }, MsgKind::Ack);
+                    }
+                }
+                ThreadMsg::NssAck { from, seq } => {
+                    if let Some(out) = self.nss_out.get_mut(&from) {
+                        if seq >= out.last_seq {
+                            out.acked = true;
+                        }
+                    }
                 }
                 ThreadMsg::Cdm { via, cdm } => {
-                    let outcome = {
-                        let p = cell.lock();
-                        acdgc_dcda::deliver(&p.summary, cdm, via, &cfg)
-                    };
-                    handle_outcome(&cell, &txs, &stats, outcome);
+                    if mode == DrainMode::Final {
+                        // No peers remain to continue the walk; the loss
+                        // is counted like any other dropped CDM so the
+                        // ledgers cannot silently diverge.
+                        self.stats.cdms_dropped.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        let mut p = cell.lock();
+                        let outcome = acdgc_dcda::deliver(&p.summary, cdm, via, &self.cfg);
+                        self.handle_outcome(&mut p, outcome);
+                    }
                 }
                 ThreadMsg::DeleteScion(r, inc) => {
                     let mut p = cell.lock();
-                    if p.tables
-                        .scion(r)
-                        .is_some_and(|s| s.pinned == 0 && s.incarnation == inc)
-                        && p.tables.remove_scion(r).is_some()
-                    {
-                        stats.scions_deleted.fetch_add(1, Ordering::Relaxed);
-                        p.summary.scions.remove(&r);
-                    }
+                    delete_scion(&mut p, r, inc, &self.stats);
                 }
             }
         }
-
-        // One GC sweep: LGC + NSS, snapshot, scan.
-        {
-            let t = now(start);
-            let mut p = cell.lock();
-            let targets = p.tables.scion_target_slots();
-            let result = lgc::collect(&mut p.heap, &targets);
-            stats
-                .objects_reclaimed
-                .fetch_add(result.sweep.freed.len() as u64, Ordering::Relaxed);
-            stats.lgc_runs.fetch_add(1, Ordering::Relaxed);
-            let dead: Vec<RefId> = p
-                .tables
-                .stubs()
-                .filter(|s| !result.mark.live_stubs.contains(&s.ref_id))
-                .map(|s| s.ref_id)
-                .collect();
-            match cfg.integration {
-                IntegrationMode::VmIntegrated => {
-                    p.tables.remove_dead_stubs(&dead);
-                }
-                IntegrationMode::WeakRefMonitor => {
-                    p.tables.condemn_stubs(&dead);
-                    p.tables.monitor_pass();
-                }
-            }
-            let peers: Vec<ProcId> = (0..txs.len() as u16)
-                .map(ProcId)
-                .filter(|&q| q != me)
-                .collect();
-            for (dest, m) in build_new_set_stubs(&mut p.tables, &peers, t) {
-                send_or_drop(&txs[dest.index()], ThreadMsg::Nss(m), &stats.nss_dropped);
-            }
-
-            p.refresh_summary(cfg.summarizer, t);
-            stats.snapshots.fetch_add(1, Ordering::Relaxed);
-
-            let picked = {
-                let t = now(start);
-                let Process {
-                    summary,
-                    candidates,
-                    ..
-                } = &mut *p;
-                select_candidates(summary, candidates, t, &cfg)
-            };
-            for scion in picked {
-                let Some(s) = p.summary.scion(scion) else {
-                    continue;
-                };
-                let cdm = Cdm::initiate(
-                    acdgc_model::DetectionId(detection_ids.fetch_add(1, Ordering::Relaxed)),
-                    me,
-                    scion,
-                    s.ic,
-                );
-                let outcome = acdgc_dcda::initiate(&p.summary, cdm, scion, &cfg);
-                drop_outcome_into(&txs, &stats, &cell, outcome, &mut p);
-            }
-        }
-
-        // Fixpoint probe: after a generous number of quiet sweeps, cast a
-        // single vote to stop; the loop ends when every thread has voted.
-        if !voted && round > 64 {
-            voted = true;
-            stop.fetch_add(1, Ordering::AcqRel);
-        }
-        thread::yield_now();
+        drained
     }
-    // Final inbox drain so late CDMs/NSS are not lost when peers stopped
-    // after us (their sends are already buffered in the channel).
-    while let Ok(msg) = rx.try_recv() {
-        match msg {
-            ThreadMsg::Nss(nss) => {
-                let mut p = cell.lock();
-                apply_new_set_stubs(&mut p.tables, &nss);
-            }
-            ThreadMsg::DeleteScion(r, inc) => {
-                let mut p = cell.lock();
-                if p.tables
-                    .scion(r)
-                    .is_some_and(|s| s.pinned == 0 && s.incarnation == inc)
-                {
-                    p.tables.remove_scion(r);
-                    p.summary.scions.remove(&r);
-                }
-            }
-            ThreadMsg::Cdm { .. } => {}
-        }
-    }
-}
 
-/// Handle a detection outcome while already holding the process lock.
-fn drop_outcome_into(
-    txs: &[Sender<ThreadMsg>],
-    stats: &ThreadedStats,
-    _cell: &Arc<Mutex<Process>>,
-    outcome: Outcome,
-    p: &mut Process,
-) {
-    match outcome {
-        Outcome::Forwarded { out: list, .. } => {
-            for ob in list {
-                stats.cdms_sent.fetch_add(1, Ordering::Relaxed);
-                send_or_drop(
-                    &txs[ob.dest.index()],
-                    ThreadMsg::Cdm {
-                        via: ob.via,
-                        cdm: ob.cdm,
-                    },
-                    &stats.cdms_dropped,
-                );
-            }
-        }
-        Outcome::CycleFound { delete } => {
-            stats.cycles_detected.fetch_add(1, Ordering::Relaxed);
-            let me = p.proc();
-            for (owner, r, inc) in delete {
-                if owner == me {
-                    if p.tables
-                        .scion(r)
-                        .is_some_and(|s| s.pinned == 0 && s.incarnation == inc)
-                        && p.tables.remove_scion(r).is_some()
-                    {
-                        stats.scions_deleted.fetch_add(1, Ordering::Relaxed);
-                        p.summary.scions.remove(&r);
-                    }
-                } else {
-                    send_or_drop(
-                        &txs[owner.index()],
-                        ThreadMsg::DeleteScion(r, inc),
-                        &stats.deletes_dropped,
+    /// Act on a detection outcome while holding the process lock.
+    fn handle_outcome(&mut self, p: &mut Process, outcome: Outcome) {
+        match outcome {
+            Outcome::Forwarded { out: list, .. } => {
+                for ob in list {
+                    self.stats.cdms_sent.fetch_add(1, Ordering::Relaxed);
+                    self.send(
+                        ob.dest,
+                        ThreadMsg::Cdm {
+                            via: ob.via,
+                            cdm: ob.cdm,
+                        },
+                        MsgKind::Cdm,
                     );
                 }
             }
+            Outcome::CycleFound { delete } => {
+                self.stats.cycles_detected.fetch_add(1, Ordering::Relaxed);
+                let me = self.me;
+                for (owner, r, inc) in delete {
+                    if owner == me {
+                        delete_scion(p, r, inc, &self.stats);
+                    } else {
+                        self.send(owner, ThreadMsg::DeleteScion(r, inc), MsgKind::Delete);
+                    }
+                }
+            }
+            Outcome::DroppedNoScion
+            | Outcome::AbortedIcMismatch { .. }
+            | Outcome::DroppedHopCap
+            | Outcome::Terminated(
+                TerminateReason::NoStubs
+                | TerminateReason::AllStubsLocallyReachable
+                | TerminateReason::NoNewInformation
+                | TerminateReason::BudgetExhausted,
+            ) => {}
         }
-        Outcome::DroppedNoScion
-        | Outcome::AbortedIcMismatch { .. }
-        | Outcome::DroppedHopCap
-        | Outcome::Terminated(
-            TerminateReason::NoStubs
-            | TerminateReason::AllStubsLocallyReachable
-            | TerminateReason::NoNewInformation
-            | TerminateReason::BudgetExhausted,
-        ) => {}
+    }
+
+    /// One GC sweep: LGC, stub-death publication (with ack/retry), snapshot,
+    /// candidate scan, detection initiation. Returns whether the sweep saw
+    /// or produced any activity — including *pending* work (unacked NSS,
+    /// backing-off candidates), which must hold off the quiescence vote.
+    fn sweep(&mut self, cell: &Arc<Mutex<Process>>, start: Instant) -> bool {
+        let mut active = false;
+        let t = SimTime(start.elapsed().as_micros() as u64 + 1);
+        let mut p = cell.lock();
+
+        let targets = p.tables.scion_target_slots();
+        let result = lgc::collect(&mut p.heap, &targets);
+        self.stats
+            .objects_reclaimed
+            .fetch_add(result.sweep.freed.len() as u64, Ordering::Relaxed);
+        self.stats.lgc_runs.fetch_add(1, Ordering::Relaxed);
+        active |= !result.sweep.freed.is_empty();
+
+        let dead: Vec<RefId> = p
+            .tables
+            .stubs()
+            .filter(|s| !result.mark.live_stubs.contains(&s.ref_id))
+            .map(|s| s.ref_id)
+            .collect();
+        active |= !dead.is_empty();
+        match self.cfg.integration {
+            IntegrationMode::VmIntegrated => {
+                p.tables.remove_dead_stubs(&dead);
+            }
+            IntegrationMode::WeakRefMonitor => {
+                p.tables.condemn_stubs(&dead);
+                p.tables.monitor_pass();
+            }
+        }
+
+        let peers: Vec<ProcId> = (0..self.txs.len() as u16)
+            .map(ProcId)
+            .filter(|&q| q != self.me)
+            .collect();
+        for (dest, m) in build_new_set_stubs(&mut p.tables, &peers, t) {
+            active |= self.offer_nss(dest, m);
+        }
+
+        p.refresh_summary(self.cfg.summarizer, t);
+        self.stats.snapshots.fetch_add(1, Ordering::Relaxed);
+
+        let scan = p.scan(t, &self.cfg);
+        // Deferred candidates are scheduled retries: quiescence now would
+        // abandon them, and with message loss a retry may be the only
+        // thing standing between a garbage cycle and a leak.
+        active |= scan.deferred > 0;
+        active |= !scan.picked.is_empty();
+        for scion in scan.picked {
+            let Some(s) = p.summary.scion(scion) else {
+                continue;
+            };
+            let cdm = Cdm::initiate(
+                DetectionId(self.detection_ids.fetch_add(1, Ordering::Relaxed)),
+                self.me,
+                scion,
+                s.ic,
+            );
+            let outcome = acdgc_dcda::initiate(&p.summary, cdm, scion, &self.cfg);
+            self.handle_outcome(&mut p, outcome);
+        }
+        active
+    }
+
+    /// Decide whether `m` (this sweep's live set towards `dest`) needs the
+    /// wire: transmit on content change, retransmit while unacknowledged,
+    /// stay silent once the peer confirmed the current content. Returns
+    /// whether NSS work is still in flight towards `dest`.
+    fn offer_nss(&mut self, dest: ProcId, m: NewSetStubs) -> bool {
+        enum Action {
+            Transmit { retry: bool },
+            AwaitAck,
+            Settled,
+        }
+        let action = match self.nss_out.get_mut(&dest) {
+            Some(out) if out.live_refs == m.live_refs => {
+                if out.acked {
+                    Action::Settled
+                } else if self.round.saturating_sub(out.sent_round)
+                    >= u64::from(self.cfg.nss_retry_sweeps.max(1))
+                {
+                    out.last_seq = m.seq;
+                    out.sent_round = self.round;
+                    Action::Transmit { retry: true }
+                } else {
+                    Action::AwaitAck
+                }
+            }
+            _ => {
+                self.nss_out.insert(
+                    dest,
+                    NssOutbound {
+                        live_refs: m.live_refs.clone(),
+                        last_seq: m.seq,
+                        acked: false,
+                        sent_round: self.round,
+                    },
+                );
+                Action::Transmit { retry: false }
+            }
+        };
+        match action {
+            Action::Transmit { retry } => {
+                if retry {
+                    self.stats.nss_retries.fetch_add(1, Ordering::Relaxed);
+                }
+                self.send(dest, ThreadMsg::Nss(m), MsgKind::Nss);
+                true
+            }
+            Action::AwaitAck => true,
+            Action::Settled => false,
+        }
     }
 }
 
-/// Handle an outcome without holding the lock (delivery path).
-fn handle_outcome(
-    cell: &Arc<Mutex<Process>>,
-    txs: &[Sender<ThreadMsg>],
-    stats: &ThreadedStats,
-    outcome: Outcome,
+/// Delete `r`'s scion if it still matches the witnessed incarnation and is
+/// unpinned; counts into `scions_deleted`. One implementation for the
+/// CycleFound, DeleteScion, and final-drain paths so the counter cannot
+/// diverge between them.
+fn delete_scion(p: &mut Process, r: RefId, inc: u32, stats: &ThreadedStats) -> bool {
+    if p.tables
+        .scion(r)
+        .is_some_and(|s| s.pinned == 0 && s.incarnation == inc)
+        && p.tables.remove_scion(r).is_some()
+    {
+        stats.scions_deleted.fetch_add(1, Ordering::Relaxed);
+        p.summary.scions.remove(&r);
+        true
+    } else {
+        false
+    }
+}
+
+fn worker(
+    mut ctx: WorkerCtx,
+    cell: Arc<Mutex<Process>>,
+    rx: Receiver<ThreadMsg>,
+    start: Instant,
+    deadline: Duration,
 ) {
-    let mut p = cell.lock();
-    drop_outcome_into(txs, stats, cell, outcome, &mut p);
+    while !ctx.quiescence.stop.load(Ordering::SeqCst) {
+        if start.elapsed() >= deadline {
+            break;
+        }
+        ctx.round += 1;
+
+        let received = ctx.drain(&cell, &rx, DrainMode::Live);
+        if received > 0 {
+            ctx.quiet_streak = 0;
+        }
+
+        if !ctx.voted {
+            let active = ctx.sweep(&cell, start);
+            if active || received > 0 {
+                ctx.quiet_streak = 0;
+            } else {
+                ctx.quiet_streak += 1;
+            }
+            if ctx.quiet_streak >= ctx.cfg.quiet_sweeps.max(1) {
+                ctx.voted = true;
+                ctx.quiescence.votes.fetch_add(1, Ordering::SeqCst);
+                ctx.stats.votes_cast.fetch_add(1, Ordering::Relaxed);
+            }
+        } else if ctx.quiescence.globally_quiet() {
+            ctx.stats.stopped_by_quiescence.store(1, Ordering::SeqCst);
+            ctx.quiescence.stop.store(true, Ordering::SeqCst);
+            break;
+        }
+        thread::yield_now();
+    }
+    // Final drain so late NSS / scion deletes buffered by peers that
+    // stopped after us are applied rather than lost.
+    ctx.drain(&cell, &rx, DrainMode::Final);
 }

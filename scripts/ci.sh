@@ -12,6 +12,12 @@ cargo build --release --offline --workspace
 echo "==> tests"
 cargo test -q --offline --workspace
 
+echo "==> threaded stress (release, seed matrix, hard time budget)"
+# The quiescence protocol must terminate these runs on its own; the 300s
+# cap is a backstop that fails CI if a run ever degenerates into waiting
+# out per-test deadlines.
+timeout 300 cargo test -q --offline --release --test threaded_stress
+
 echo "==> clippy (-D warnings)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
