@@ -4,7 +4,7 @@
 //!
 //! Usage: `cargo run --release -p acdgc-bench --bin experiments [ids...]`
 //! with ids from {t1, s1, f1, f2, f3, f4, f5, a1, a2, a3, a4, a5, a6,
-//! sc1}; no ids runs everything. A JSON digest is written to
+//! sc1, pp1}; no ids runs everything. A JSON digest is written to
 //! `target/experiments.json`.
 
 use acdgc_baselines::{Backtracer, HughesCollector};
@@ -20,7 +20,7 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = [
-        "t1", "s1", "f1", "f2", "f3", "f4", "f5", "a1", "a2", "a3", "a4", "a5", "a6", "sc1",
+        "t1", "s1", "f1", "f2", "f3", "f4", "f5", "a1", "a2", "a3", "a4", "a5", "a6", "sc1", "pp1",
     ];
     let selected: Vec<String> = if args.is_empty() {
         all.iter().map(|s| s.to_string()).collect()
@@ -44,6 +44,7 @@ fn main() {
             "a5" => a5(),
             "a6" => a6(),
             "sc1" => sc1(),
+            "pp1" => pp1(),
             other => {
                 eprintln!("unknown experiment id {other:?}");
                 continue;
@@ -666,4 +667,73 @@ fn sc1() -> Value {
     }
     println!("(messages = span: linear; only spanned processes participate)");
     json!({ "rows": rows })
+}
+
+// -------------------------------------------------------------------------
+// PP1 — per-process metrics attribution on a skewed workload.
+// -------------------------------------------------------------------------
+fn pp1() -> Value {
+    header("PP1", "per-process attribution — skewed cycle placement");
+    // Six processes, but the cycles are piled onto the low-numbered ones:
+    // rings [P0,P1], [P0,P1,P2], … up to the full span, so P0 sits on every
+    // cycle while P5 sits on one. A global ledger hides that skew; the
+    // per-process ledgers must expose it.
+    let mut sys = System::new(6, GcConfig::manual(), NetConfig::default(), 71);
+    for span in 2..=6u16 {
+        let ids: Vec<ProcId> = (0..span).map(ProcId).collect();
+        scenarios::ring(&mut sys, &ids, 2, false);
+    }
+    assert!(sys.oracle_live().is_empty(), "workload must be all garbage");
+    sys.config_mut().candidate_age = SimDuration::ZERO;
+    sys.config_mut().candidate_backoff = SimDuration::ZERO;
+    sys.collect_to_fixpoint(20);
+    assert_eq!(sys.total_live_objects(), 0, "skewed rings all reclaimed");
+
+    println!(
+        "{:>5} {:>9} {:>10} {:>9} {:>9} {:>10} {:>10} {:>8}",
+        "proc", "lgc_runs", "reclaimed", "nss_sent", "cdm_sent", "cdm_deliv", "det_start", "cycles"
+    );
+    let mut rows = Vec::new();
+    for p in 0..6u16 {
+        let m = sys.metrics_for(ProcId(p));
+        println!(
+            "{:>5} {:>9} {:>10} {:>9} {:>9} {:>10} {:>10} {:>8}",
+            format!("P{p}"),
+            m.lgc_runs,
+            m.objects_reclaimed,
+            m.nss_sent,
+            m.cdms_sent,
+            m.cdms_delivered,
+            m.detections_started,
+            m.cycles_detected,
+        );
+        rows.push(json!({
+            "proc": p,
+            "lgc_runs": m.lgc_runs,
+            "objects_reclaimed": m.objects_reclaimed,
+            "nss_sent": m.nss_sent,
+            "cdms_sent": m.cdms_sent,
+            "cdms_delivered": m.cdms_delivered,
+            "detections_started": m.detections_started,
+            "cycles_detected": m.cycles_detected,
+        }));
+    }
+    let t = &sys.metrics;
+    println!(
+        "{:>5} {:>9} {:>10} {:>9} {:>9} {:>10} {:>10} {:>8}",
+        "all",
+        t.lgc_runs,
+        t.objects_reclaimed,
+        t.nss_sent,
+        t.cdms_sent,
+        t.cdms_delivered,
+        t.detections_started,
+        t.cycles_detected,
+    );
+    // The skew the table exists to show: the process on every ring does
+    // strictly more CDM work than the process on only one.
+    let busy = sys.metrics_for(ProcId(0)).cdms_delivered;
+    let idle = sys.metrics_for(ProcId(5)).cdms_delivered;
+    println!("(P0 is on all 5 rings, P5 on 1: deliveries {busy} vs {idle})");
+    json!({ "rows": rows, "p0_cdms_delivered": busy, "p5_cdms_delivered": idle })
 }

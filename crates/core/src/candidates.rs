@@ -109,6 +109,29 @@ pub fn scan_candidates(
     CandidateScan { picked, deferred }
 }
 
+/// [`scan_candidates`] with the scan timed into the
+/// [`acdgc_obs::Phase::CandidateScan`] histogram and the outcome recorded
+/// as an [`acdgc_obs::Event::CandidatesScanned`] event.
+pub fn scan_candidates_observed(
+    summary: &SummarizedGraph,
+    state: &mut CandidateState,
+    now: SimTime,
+    cfg: &GcConfig,
+    obs: &mut acdgc_obs::ProcTrace,
+) -> CandidateScan {
+    let started = obs.stopwatch();
+    let scan = scan_candidates(summary, state, now, cfg);
+    obs.lap(acdgc_obs::Phase::CandidateScan, started);
+    obs.record(
+        now,
+        acdgc_obs::Event::CandidatesScanned {
+            picked: scan.picked.len() as u32,
+            deferred: scan.deferred as u32,
+        },
+    );
+    scan
+}
+
 /// [`scan_candidates`] without the deferred-work report.
 pub fn select_candidates(
     summary: &SummarizedGraph,

@@ -35,6 +35,66 @@ pub enum SummarizerKind {
     Reference,
 }
 
+/// Which event families a trace records. Defaults to everything; narrowing
+/// the filter shrinks ring-buffer pressure on long runs where only one
+/// family matters (e.g. detection forensics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceFilter {
+    /// CDM lifecycle: initiation, sends, deliveries, forwards, verdicts,
+    /// aborts, terminations, scion deletions, candidate scans.
+    pub detections: bool,
+    /// Reference listing: `NewSetStubs` send / apply / ack.
+    pub nss: bool,
+    /// Phase start/end pairs (LGC, snapshot capture, summarization).
+    pub phases: bool,
+    /// Threaded-runtime quiescence votes and rescinds.
+    pub quiescence: bool,
+}
+
+impl Default for TraceFilter {
+    fn default() -> Self {
+        TraceFilter {
+            detections: true,
+            nss: true,
+            phases: true,
+            quiescence: true,
+        }
+    }
+}
+
+/// Structured-event tracing knobs (see the `acdgc-obs` crate). Disabled by
+/// default: the disabled path is a single branch per would-be event, so
+/// production configurations pay nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    pub enabled: bool,
+    /// Per-process ring-buffer capacity in events; the oldest events are
+    /// overwritten once it fills (the overwrite count is surfaced so a
+    /// truncated trace is never mistaken for a complete one).
+    pub capacity: usize,
+    pub filter: TraceFilter,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            enabled: false,
+            capacity: 65_536,
+            filter: TraceFilter::default(),
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Tracing on with default capacity and an all-pass filter.
+    pub fn on() -> Self {
+        TraceConfig {
+            enabled: true,
+            ..TraceConfig::default()
+        }
+    }
+}
+
 /// Collector tuning knobs. Defaults model the paper's lazy, low-disruption
 /// regime; ablation experiments flip the named switches.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -137,6 +197,8 @@ pub struct GcConfig {
     /// retried until confirmed) because a lost final NSS would leak
     /// acyclic garbage forever — the cycle detector cannot reclaim it.
     pub nss_retry_sweeps: u32,
+    /// Structured event tracing (`acdgc-obs`); off by default.
+    pub trace: TraceConfig,
 }
 
 impl Default for GcConfig {
@@ -164,6 +226,7 @@ impl Default for GcConfig {
             channel_capacity: 1_024,
             quiet_sweeps: 16,
             nss_retry_sweeps: 8,
+            trace: TraceConfig::default(),
         }
     }
 }

@@ -1,0 +1,525 @@
+//! The typed event taxonomy: everything the collector stack can report,
+//! one variant per observable transition of the CDM lifecycle, the
+//! reference-listing layer, the phase clocks, and the quiescence protocol.
+
+use acdgc_model::{DetectionId, ProcId, RefId, SimTime, TraceFilter};
+use serde_json::{json, Value};
+
+/// A timed collector phase. Phases are bracketed by
+/// [`Event::PhaseStarted`] / [`Event::PhaseEnded`] pairs and feed the
+/// per-phase log2 duration histograms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Local mark+sweep collection.
+    Lgc,
+    /// Raw heap/table snapshot capture (`acdgc_snapshot::capture`).
+    SnapshotCapture,
+    /// Single-pass SCC-condensation summarizer.
+    SummarizeEngine,
+    /// Reference per-scion-BFS summarizer.
+    SummarizeReference,
+    /// Candidate scan over the published summary.
+    CandidateScan,
+    /// One CDM combine step (initiate or deliver) including outcome
+    /// handling. Histogram-only: per-CDM start/end events would double the
+    /// trace volume for no forensic value.
+    CdmHandling,
+}
+
+impl Phase {
+    pub const COUNT: usize = 6;
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Lgc,
+        Phase::SnapshotCapture,
+        Phase::SummarizeEngine,
+        Phase::SummarizeReference,
+        Phase::CandidateScan,
+        Phase::CdmHandling,
+    ];
+
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Lgc => 0,
+            Phase::SnapshotCapture => 1,
+            Phase::SummarizeEngine => 2,
+            Phase::SummarizeReference => 3,
+            Phase::CandidateScan => 4,
+            Phase::CdmHandling => 5,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Lgc => "lgc",
+            Phase::SnapshotCapture => "snapshot_capture",
+            Phase::SummarizeEngine => "summarize_engine",
+            Phase::SummarizeReference => "summarize_reference",
+            Phase::CandidateScan => "candidate_scan",
+            Phase::CdmHandling => "cdm_handling",
+        }
+    }
+}
+
+/// Why a detection was dropped without a verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// Safety rule 1: addressed scion absent from the current summary.
+    NoScion,
+    /// Backstop hop cap exceeded.
+    HopCap,
+}
+
+impl DropReason {
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::NoScion => "no_scion",
+            DropReason::HopCap => "hop_cap",
+        }
+    }
+}
+
+/// Why a detection terminated normally (no cycle, no safety violation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TermReason {
+    NoStubs,
+    AllStubsLocallyReachable,
+    NoNewInformation,
+    BudgetExhausted,
+}
+
+impl TermReason {
+    pub fn name(self) -> &'static str {
+        match self {
+            TermReason::NoStubs => "no_stubs",
+            TermReason::AllStubsLocallyReachable => "all_stubs_locally_reachable",
+            TermReason::NoNewInformation => "no_new_information",
+            TermReason::BudgetExhausted => "budget_exhausted",
+        }
+    }
+}
+
+/// One observable transition. Detection events carry the detection id,
+/// the hop depth of the processing step that produced them, and — for
+/// wire events — source/target algebra sizes and encoded bytes, so a
+/// trace alone reconstructs the paper's §3.1 walk tables.
+///
+/// Hop convention: the detector increments a CDM's hop counter on
+/// delivery, so `CdmSent`/`CdmDelivered` record the depth at which the
+/// *receiving* step processes the CDM. A sent/delivered pair for one CDM
+/// therefore shares a hop value, and hops strictly increase along every
+/// reconstructed path (checked by `DetectionPath::check_hops_increase`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A detection was initiated from `scion` at the recording process.
+    DetectionStarted {
+        id: DetectionId,
+        scion: RefId,
+    },
+    /// One CDM derivation left the recording process towards `to`.
+    CdmSent {
+        id: DetectionId,
+        to: ProcId,
+        via: RefId,
+        hop: u32,
+        sources: u32,
+        targets: u32,
+        bytes: u32,
+    },
+    /// A CDM arrived at the recording process (pre-combine).
+    CdmDelivered {
+        id: DetectionId,
+        via: RefId,
+        hop: u32,
+        sources: u32,
+        targets: u32,
+        bytes: u32,
+    },
+    /// A processing step (initiate or deliver) combined the CDM with the
+    /// local summary and forwarded `branches` derivations; the pruned
+    /// counters record sibling branches that did not forward.
+    CdmForwarded {
+        id: DetectionId,
+        hop: u32,
+        branches: u32,
+        pruned_local: u32,
+        pruned_no_new_info: u32,
+    },
+    /// Matching cancelled completely: `scions` proven-garbage scions will
+    /// be deleted.
+    CycleDetected {
+        id: DetectionId,
+        hop: u32,
+        scions: u32,
+    },
+    /// §3.2 invocation-counter barrier fired.
+    DetectionAborted {
+        id: DetectionId,
+        hop: u32,
+        ref_id: RefId,
+        source_ic: u64,
+        target_ic: u64,
+    },
+    DetectionDropped {
+        id: DetectionId,
+        hop: u32,
+        reason: DropReason,
+    },
+    DetectionTerminated {
+        id: DetectionId,
+        hop: u32,
+        reason: TermReason,
+    },
+    /// A cycle verdict deleted this scion at the recording (owning)
+    /// process.
+    ScionDeleted {
+        scion: RefId,
+        incarnation: u32,
+    },
+    /// Reference listing: a `NewSetStubs` left for `to`.
+    NssSent {
+        to: ProcId,
+        seq: u64,
+        live_refs: u32,
+        retry: bool,
+    },
+    /// A `NewSetStubs` from `from` was applied (or rejected as stale).
+    NssApplied {
+        from: ProcId,
+        seq: u64,
+        removed: u32,
+        stale: bool,
+    },
+    /// Threaded runtime: an NSS acknowledgement left for `to`.
+    NssAcked {
+        to: ProcId,
+        seq: u64,
+    },
+    /// A candidate scan picked `picked` scions and deferred `deferred`
+    /// (backoff window / scan cap).
+    CandidatesScanned {
+        picked: u32,
+        deferred: u32,
+    },
+    PhaseStarted {
+        phase: Phase,
+    },
+    PhaseEnded {
+        phase: Phase,
+        nanos: u64,
+    },
+    /// Threaded runtime: this worker cast its quiescence vote after
+    /// `sweep` sweeps.
+    VoteCast {
+        sweep: u64,
+    },
+    /// Threaded runtime: a voted worker received a message and rescinded.
+    VoteRescinded {
+        sweep: u64,
+    },
+}
+
+impl Event {
+    /// The detection this event belongs to, if any.
+    pub fn detection_id(&self) -> Option<DetectionId> {
+        match *self {
+            Event::DetectionStarted { id, .. }
+            | Event::CdmSent { id, .. }
+            | Event::CdmDelivered { id, .. }
+            | Event::CdmForwarded { id, .. }
+            | Event::CycleDetected { id, .. }
+            | Event::DetectionAborted { id, .. }
+            | Event::DetectionDropped { id, .. }
+            | Event::DetectionTerminated { id, .. } => Some(id),
+            _ => None,
+        }
+    }
+
+    /// Whether this event ends its detection (exactly one terminal closes
+    /// every processing step that does not forward).
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            Event::CycleDetected { .. }
+                | Event::DetectionAborted { .. }
+                | Event::DetectionDropped { .. }
+                | Event::DetectionTerminated { .. }
+        )
+    }
+
+    /// Stable snake_case discriminant, used as the JSONL `type` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::DetectionStarted { .. } => "detection_started",
+            Event::CdmSent { .. } => "cdm_sent",
+            Event::CdmDelivered { .. } => "cdm_delivered",
+            Event::CdmForwarded { .. } => "cdm_forwarded",
+            Event::CycleDetected { .. } => "cycle_detected",
+            Event::DetectionAborted { .. } => "detection_aborted",
+            Event::DetectionDropped { .. } => "detection_dropped",
+            Event::DetectionTerminated { .. } => "detection_terminated",
+            Event::ScionDeleted { .. } => "scion_deleted",
+            Event::NssSent { .. } => "nss_sent",
+            Event::NssApplied { .. } => "nss_applied",
+            Event::NssAcked { .. } => "nss_acked",
+            Event::CandidatesScanned { .. } => "candidates_scanned",
+            Event::PhaseStarted { .. } => "phase_started",
+            Event::PhaseEnded { .. } => "phase_ended",
+            Event::VoteCast { .. } => "vote_cast",
+            Event::VoteRescinded { .. } => "vote_rescinded",
+        }
+    }
+
+    /// Whether `filter` admits this event.
+    pub fn passes(&self, filter: &TraceFilter) -> bool {
+        match self {
+            Event::DetectionStarted { .. }
+            | Event::CdmSent { .. }
+            | Event::CdmDelivered { .. }
+            | Event::CdmForwarded { .. }
+            | Event::CycleDetected { .. }
+            | Event::DetectionAborted { .. }
+            | Event::DetectionDropped { .. }
+            | Event::DetectionTerminated { .. }
+            | Event::ScionDeleted { .. }
+            | Event::CandidatesScanned { .. } => filter.detections,
+            Event::NssSent { .. } | Event::NssApplied { .. } | Event::NssAcked { .. } => filter.nss,
+            Event::PhaseStarted { .. } | Event::PhaseEnded { .. } => filter.phases,
+            Event::VoteCast { .. } | Event::VoteRescinded { .. } => filter.quiescence,
+        }
+    }
+}
+
+/// An [`Event`] as it sits in a ring buffer: stamped with a globally
+/// unique, totally ordered sequence number (one shared atomic across all
+/// processes of a run), the recording process, and the recording
+/// process's clock.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Recorded {
+    pub seq: u64,
+    pub at: SimTime,
+    pub proc: ProcId,
+    pub event: Event,
+}
+
+impl Recorded {
+    /// One flat JSON object per event — the JSONL schema (documented in
+    /// DESIGN.md §Observability).
+    pub fn to_json(&self) -> Value {
+        let mut v = json!({
+            "seq": self.seq,
+            "at_us": self.at.0,
+            "proc": self.proc.0,
+            "type": self.event.kind(),
+        });
+        let obj = match &mut v {
+            Value::Object(m) => m,
+            _ => unreachable!(),
+        };
+        match &self.event {
+            Event::DetectionStarted { id, scion } => {
+                obj.insert("id".into(), json!(id.0));
+                obj.insert("scion".into(), json!(scion.0));
+            }
+            Event::CdmSent {
+                id,
+                to,
+                via,
+                hop,
+                sources,
+                targets,
+                bytes,
+            } => {
+                obj.insert("id".into(), json!(id.0));
+                obj.insert("to".into(), json!(to.0));
+                obj.insert("via".into(), json!(via.0));
+                obj.insert("hop".into(), json!(*hop));
+                obj.insert("sources".into(), json!(*sources));
+                obj.insert("targets".into(), json!(*targets));
+                obj.insert("bytes".into(), json!(*bytes));
+            }
+            Event::CdmDelivered {
+                id,
+                via,
+                hop,
+                sources,
+                targets,
+                bytes,
+            } => {
+                obj.insert("id".into(), json!(id.0));
+                obj.insert("via".into(), json!(via.0));
+                obj.insert("hop".into(), json!(*hop));
+                obj.insert("sources".into(), json!(*sources));
+                obj.insert("targets".into(), json!(*targets));
+                obj.insert("bytes".into(), json!(*bytes));
+            }
+            Event::CdmForwarded {
+                id,
+                hop,
+                branches,
+                pruned_local,
+                pruned_no_new_info,
+            } => {
+                obj.insert("id".into(), json!(id.0));
+                obj.insert("hop".into(), json!(*hop));
+                obj.insert("branches".into(), json!(*branches));
+                obj.insert("pruned_local".into(), json!(*pruned_local));
+                obj.insert("pruned_no_new_info".into(), json!(*pruned_no_new_info));
+            }
+            Event::CycleDetected { id, hop, scions } => {
+                obj.insert("id".into(), json!(id.0));
+                obj.insert("hop".into(), json!(*hop));
+                obj.insert("scions".into(), json!(*scions));
+            }
+            Event::DetectionAborted {
+                id,
+                hop,
+                ref_id,
+                source_ic,
+                target_ic,
+            } => {
+                obj.insert("id".into(), json!(id.0));
+                obj.insert("hop".into(), json!(*hop));
+                obj.insert("ref".into(), json!(ref_id.0));
+                obj.insert("source_ic".into(), json!(*source_ic));
+                obj.insert("target_ic".into(), json!(*target_ic));
+            }
+            Event::DetectionDropped { id, hop, reason } => {
+                obj.insert("id".into(), json!(id.0));
+                obj.insert("hop".into(), json!(*hop));
+                obj.insert("reason".into(), json!(reason.name()));
+            }
+            Event::DetectionTerminated { id, hop, reason } => {
+                obj.insert("id".into(), json!(id.0));
+                obj.insert("hop".into(), json!(*hop));
+                obj.insert("reason".into(), json!(reason.name()));
+            }
+            Event::ScionDeleted { scion, incarnation } => {
+                obj.insert("scion".into(), json!(scion.0));
+                obj.insert("incarnation".into(), json!(*incarnation));
+            }
+            Event::NssSent {
+                to,
+                seq,
+                live_refs,
+                retry,
+            } => {
+                obj.insert("to".into(), json!(to.0));
+                obj.insert("nss_seq".into(), json!(*seq));
+                obj.insert("live_refs".into(), json!(*live_refs));
+                obj.insert("retry".into(), json!(*retry));
+            }
+            Event::NssApplied {
+                from,
+                seq,
+                removed,
+                stale,
+            } => {
+                obj.insert("from".into(), json!(from.0));
+                obj.insert("nss_seq".into(), json!(*seq));
+                obj.insert("removed".into(), json!(*removed));
+                obj.insert("stale".into(), json!(*stale));
+            }
+            Event::NssAcked { to, seq } => {
+                obj.insert("to".into(), json!(to.0));
+                obj.insert("nss_seq".into(), json!(*seq));
+            }
+            Event::CandidatesScanned { picked, deferred } => {
+                obj.insert("picked".into(), json!(*picked));
+                obj.insert("deferred".into(), json!(*deferred));
+            }
+            Event::PhaseStarted { phase } => {
+                obj.insert("phase".into(), json!(phase.name()));
+            }
+            Event::PhaseEnded { phase, nanos } => {
+                obj.insert("phase".into(), json!(phase.name()));
+                obj.insert("nanos".into(), json!(*nanos));
+            }
+            Event::VoteCast { sweep } => {
+                obj.insert("sweep".into(), json!(*sweep));
+            }
+            Event::VoteRescinded { sweep } => {
+                obj.insert("sweep".into(), json!(*sweep));
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_classification() {
+        let id = DetectionId(1);
+        assert!(Event::CycleDetected {
+            id,
+            hop: 3,
+            scions: 4
+        }
+        .is_terminal());
+        assert!(Event::DetectionTerminated {
+            id,
+            hop: 0,
+            reason: TermReason::NoStubs
+        }
+        .is_terminal());
+        assert!(!Event::DetectionStarted {
+            id,
+            scion: RefId(9)
+        }
+        .is_terminal());
+        assert!(!Event::CdmForwarded {
+            id,
+            hop: 1,
+            branches: 2,
+            pruned_local: 0,
+            pruned_no_new_info: 0
+        }
+        .is_terminal());
+    }
+
+    #[test]
+    fn filter_routes_families() {
+        let only_nss = TraceFilter {
+            detections: false,
+            nss: true,
+            phases: false,
+            quiescence: false,
+        };
+        assert!(Event::NssAcked {
+            to: ProcId(1),
+            seq: 3
+        }
+        .passes(&only_nss));
+        assert!(!Event::PhaseStarted { phase: Phase::Lgc }.passes(&only_nss));
+        assert!(!Event::VoteCast { sweep: 2 }.passes(&only_nss));
+        assert!(!Event::DetectionStarted {
+            id: DetectionId(0),
+            scion: RefId(1)
+        }
+        .passes(&only_nss));
+    }
+
+    #[test]
+    fn json_carries_discriminant_and_payload() {
+        let r = Recorded {
+            seq: 17,
+            at: SimTime(42),
+            proc: ProcId(3),
+            event: Event::CdmSent {
+                id: DetectionId(7),
+                to: ProcId(4),
+                via: RefId(19),
+                hop: 2,
+                sources: 3,
+                targets: 2,
+                bytes: 120,
+            },
+        };
+        let line = serde_json::to_string(&r.to_json()).unwrap();
+        assert!(line.contains("\"type\":\"cdm_sent\""), "{line}");
+        assert!(line.contains("\"seq\":17"), "{line}");
+        assert!(line.contains("\"hop\":2"), "{line}");
+    }
+}

@@ -1,0 +1,218 @@
+//! Log2-bucket duration histograms: cost *distributions* per phase, not
+//! just totals — the difference between "summarization averages 40µs" and
+//! "one in a thousand summarizations stalls for 20ms".
+
+use crate::event::Phase;
+use serde_json::{json, Value};
+
+const BUCKETS: usize = 64;
+
+/// Power-of-two bucketed histogram over nanosecond durations. Bucket `b`
+/// holds samples in `[2^(b-1), 2^b)` (bucket 0 holds 0ns). Fixed 64-slot
+/// layout: merging is elementwise, recording is a `leading_zeros`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    fn bucket_of(nanos: u64) -> usize {
+        (64 - nanos.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    pub fn record(&mut self, nanos: u64) {
+        self.buckets[Self::bucket_of(nanos)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(nanos);
+        self.max = self.max.max(nanos);
+    }
+
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum_nanos(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn max_nanos(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean_nanos(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Upper bound (exclusive) of the bucket containing the `q`-quantile
+    /// sample; 0 for an empty histogram. Bucket resolution only — good to
+    /// a factor of two, which is what log2 buckets buy.
+    pub fn quantile_upper_nanos(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if b == 0 { 0 } else { 1u64 << b };
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `[bucket_upper_ns, count]` pairs.
+    pub fn to_json(&self) -> Value {
+        let pairs: Vec<Value> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(b, &n)| {
+                let upper: u64 = if b == 0 { 0 } else { 1u64 << b };
+                json!([upper, n])
+            })
+            .collect();
+        json!({
+            "count": self.count,
+            "sum_ns": self.sum,
+            "max_ns": self.max,
+            "buckets": pairs,
+        })
+    }
+}
+
+/// One [`Histogram`] per [`Phase`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseHistograms {
+    hists: [Histogram; Phase::COUNT],
+}
+
+impl PhaseHistograms {
+    pub fn get(&self, phase: Phase) -> &Histogram {
+        &self.hists[phase.index()]
+    }
+
+    pub fn record(&mut self, phase: Phase, nanos: u64) {
+        self.hists[phase.index()].record(nanos);
+    }
+
+    pub fn merge(&mut self, other: &PhaseHistograms) {
+        for (a, b) in self.hists.iter_mut().zip(other.hists.iter()) {
+            a.merge(b);
+        }
+    }
+
+    /// Total samples across all phases.
+    pub fn total_count(&self) -> u64 {
+        self.hists.iter().map(|h| h.count()).sum()
+    }
+
+    /// Phases with at least one sample, keyed by phase name.
+    pub fn to_json(&self) -> Value {
+        let mut m = serde_json::Map::new();
+        for phase in Phase::ALL {
+            let h = self.get(phase);
+            if h.count() > 0 {
+                m.insert(phase.name().to_string(), h.to_json());
+            }
+        }
+        Value::Object(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum_nanos(), 1030);
+        assert_eq!(h.max_nanos(), 1024);
+        // 0 -> bucket 0; 1 -> bucket 1; 2,3 -> bucket 2; 1024 -> bucket 11.
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[2], 2);
+        assert_eq!(h.buckets[11], 1);
+    }
+
+    #[test]
+    fn merge_adds_elementwise() {
+        let mut a = Histogram::new();
+        a.record(5);
+        let mut b = Histogram::new();
+        b.record(5);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max_nanos(), 100);
+        assert_eq!(a.buckets[3], 2, "two samples of 5ns");
+    }
+
+    #[test]
+    fn quantiles_resolve_to_bucket_bounds() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10); // bucket 4, upper bound 16
+        }
+        h.record(10_000); // bucket 14, upper bound 16384
+        assert_eq!(h.quantile_upper_nanos(0.5), 16);
+        assert_eq!(h.quantile_upper_nanos(1.0), 16_384);
+        assert_eq!(Histogram::new().quantile_upper_nanos(0.5), 0);
+    }
+
+    #[test]
+    fn huge_sample_lands_in_last_bucket() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.buckets[BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn per_phase_isolation_and_merge() {
+        let mut p = PhaseHistograms::default();
+        p.record(Phase::Lgc, 100);
+        p.record(Phase::SummarizeEngine, 200);
+        assert_eq!(p.get(Phase::Lgc).count(), 1);
+        assert_eq!(p.get(Phase::SnapshotCapture).count(), 0);
+        let mut q = PhaseHistograms::default();
+        q.record(Phase::Lgc, 300);
+        p.merge(&q);
+        assert_eq!(p.get(Phase::Lgc).count(), 2);
+        assert_eq!(p.total_count(), 3);
+    }
+}

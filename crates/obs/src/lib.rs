@@ -1,0 +1,31 @@
+//! `acdgc-obs` — structured event tracing and forensics for the collector
+//! stack.
+//!
+//! The paper's claims are *behavioural*: CDMs terminate without global
+//! synchronization, the IC barrier catches mutator/detector races, the
+//! algebra stays bounded. Counters can say *that* those held; only an
+//! event trace can show *how*. This crate provides:
+//!
+//! * a typed [`Event`] taxonomy over the CDM lifecycle, reference
+//!   listing, phase timing, and quiescence voting;
+//! * [`ProcTrace`] — a bounded per-process `Vec` ring buffer behind
+//!   [`acdgc_model::TraceConfig`], with a zero-cost disabled path and a
+//!   shared atomic sequence counter so concurrently recorded events merge
+//!   into one total order;
+//! * log2-bucket duration [`Histogram`]s per collector [`Phase`], per
+//!   process and merged;
+//! * [`Trace`] — the collected view: [`Trace::detection`] reconstructs
+//!   one detection's ordered cross-process CDM path ([`DetectionPath`]),
+//!   [`Trace::to_jsonl`] exports everything for post-mortems.
+//!
+//! The crate sits below `heap`/`remoting`/`snapshot`/`sim` so every layer
+//! can report events without dependency cycles; runtimes own the sinks
+//! (one per process) and decide when to collect.
+
+pub mod event;
+pub mod hist;
+pub mod trace;
+
+pub use event::{DropReason, Event, Phase, Recorded, TermReason};
+pub use hist::{Histogram, PhaseHistograms};
+pub use trace::{DetectionPath, PathBalance, ProcTrace, Trace};

@@ -1,0 +1,655 @@
+//! Per-process ring buffers ([`ProcTrace`]), the collected cross-process
+//! view ([`Trace`]), and detection forensics ([`DetectionPath`]).
+
+use crate::event::{Event, Phase, Recorded};
+use crate::hist::PhaseHistograms;
+use acdgc_model::{DetectionId, ProcId, SimTime, TraceConfig, TraceFilter};
+use serde_json::json;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One process's trace sink: a bounded `Vec` ring of [`Recorded`] events
+/// plus per-phase duration histograms.
+///
+/// Sequence numbers come from an `Arc<AtomicU64>` that the embedding
+/// runtime shares across all processes of a run, so the merged trace has
+/// a total order even when processes record concurrently (each from its
+/// own thread, or from a `rayon` parallel snapshot stage). Everything
+/// else is process-local: recording never takes a shared lock.
+///
+/// The disabled path is one `bool` test per would-be event; no clock is
+/// read and no event is built.
+#[derive(Clone, Debug)]
+pub struct ProcTrace {
+    proc: ProcId,
+    enabled: bool,
+    filter: TraceFilter,
+    capacity: usize,
+    seq: Arc<AtomicU64>,
+    /// Ring storage: grows to `capacity`, then wraps at `head`.
+    buf: Vec<Recorded>,
+    head: usize,
+    overwritten: u64,
+    pub phases: PhaseHistograms,
+}
+
+impl ProcTrace {
+    pub fn new(proc: ProcId, cfg: &TraceConfig) -> Self {
+        ProcTrace {
+            proc,
+            enabled: cfg.enabled && cfg.capacity > 0,
+            filter: cfg.filter,
+            capacity: cfg.capacity.max(1),
+            seq: Arc::new(AtomicU64::new(0)),
+            buf: Vec::new(),
+            head: 0,
+            overwritten: 0,
+            phases: PhaseHistograms::default(),
+        }
+    }
+
+    /// A disabled sink (used where a `ProcTrace` is structurally required
+    /// but tracing is off).
+    pub fn disabled(proc: ProcId) -> Self {
+        ProcTrace::new(proc, &TraceConfig::default())
+    }
+
+    pub fn proc(&self) -> ProcId {
+        self.proc
+    }
+
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Events currently buffered (after any overwrites).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events lost to ring overwrite.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Adopt a shared sequence counter (the runtime links all processes
+    /// of a run to one counter before any event is recorded).
+    pub fn share_seq(&mut self, seq: Arc<AtomicU64>) {
+        self.seq = seq;
+    }
+
+    pub fn seq_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.seq)
+    }
+
+    /// Re-apply a (possibly different) trace configuration, keeping
+    /// already-buffered events. Used when processes built under one
+    /// config are handed to a runtime with another.
+    pub fn reconfigure(&mut self, cfg: &TraceConfig) {
+        self.enabled = cfg.enabled && cfg.capacity > 0;
+        self.filter = cfg.filter;
+        self.capacity = cfg.capacity.max(1);
+    }
+
+    /// Record one event (no-op when disabled or filtered out).
+    #[inline]
+    pub fn record(&mut self, at: SimTime, event: Event) {
+        if !self.enabled {
+            return;
+        }
+        self.push(at, event);
+    }
+
+    fn push(&mut self, at: SimTime, event: Event) {
+        if !event.passes(&self.filter) {
+            return;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let rec = Recorded {
+            seq,
+            at,
+            proc: self.proc,
+            event,
+        };
+        if self.buf.len() < self.capacity {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % self.capacity;
+            self.overwritten += 1;
+        }
+    }
+
+    /// Buffered events in recording order.
+    pub fn events(&self) -> impl Iterator<Item = &Recorded> {
+        let (late, early) = self.buf.split_at(self.head);
+        early.iter().chain(late.iter())
+    }
+
+    /// Start a bracketed phase: emits [`Event::PhaseStarted`] and arms a
+    /// wall-clock stopwatch. Returns `None` (and emits nothing) when
+    /// disabled — the `Instant::now()` is only paid when tracing.
+    pub fn begin(&mut self, at: SimTime, phase: Phase) -> Option<Instant> {
+        if !self.enabled {
+            return None;
+        }
+        self.push(at, Event::PhaseStarted { phase });
+        Some(Instant::now())
+    }
+
+    /// Close a bracketed phase: records the duration into the phase
+    /// histogram and emits [`Event::PhaseEnded`].
+    pub fn end(&mut self, at: SimTime, phase: Phase, started: Option<Instant>) {
+        if let Some(t0) = started {
+            let nanos = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            self.phases.record(phase, nanos);
+            self.push(at, Event::PhaseEnded { phase, nanos });
+        }
+    }
+
+    /// Arm a histogram-only stopwatch (no start/end events) for hot,
+    /// high-frequency phases like per-CDM handling.
+    pub fn stopwatch(&self) -> Option<Instant> {
+        self.enabled.then(Instant::now)
+    }
+
+    /// Close a histogram-only stopwatch.
+    pub fn lap(&mut self, phase: Phase, started: Option<Instant>) {
+        if let Some(t0) = started {
+            let nanos = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            self.phases.record(phase, nanos);
+        }
+    }
+}
+
+/// The merged, seq-ordered view over every process's ring buffer —
+/// everything the forensics and export APIs operate on.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// All surviving events, sorted by sequence number.
+    pub events: Vec<Recorded>,
+    /// Events lost to ring overwrite across all processes. Non-zero means
+    /// the trace is a suffix, not the whole story.
+    pub overwritten: u64,
+    /// Per-process phase histograms.
+    pub phases: Vec<(ProcId, PhaseHistograms)>,
+}
+
+impl Trace {
+    /// Merge the given per-process sinks into one ordered trace.
+    pub fn collect<'a, I>(procs: I) -> Trace
+    where
+        I: IntoIterator<Item = &'a ProcTrace>,
+    {
+        let mut events = Vec::new();
+        let mut overwritten = 0;
+        let mut phases = Vec::new();
+        for pt in procs {
+            events.extend(pt.events().cloned());
+            overwritten += pt.overwritten();
+            phases.push((pt.proc(), pt.phases.clone()));
+        }
+        events.sort_by_key(|r| r.seq);
+        Trace {
+            events,
+            overwritten,
+            phases,
+        }
+    }
+
+    /// System-wide phase histograms (all processes merged).
+    pub fn merged_phases(&self) -> PhaseHistograms {
+        let mut merged = PhaseHistograms::default();
+        for (_, p) in &self.phases {
+            merged.merge(p);
+        }
+        merged
+    }
+
+    /// Every detection id with at least one surviving event, ascending.
+    pub fn detection_ids(&self) -> Vec<DetectionId> {
+        let mut ids: Vec<DetectionId> = self
+            .events
+            .iter()
+            .filter_map(|r| r.event.detection_id())
+            .collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+
+    /// Detections that produced a [`Event::CycleDetected`] verdict.
+    pub fn detected_cycles(&self) -> Vec<DetectionId> {
+        let mut ids: Vec<DetectionId> = self
+            .events
+            .iter()
+            .filter(|r| matches!(r.event, Event::CycleDetected { .. }))
+            .filter_map(|r| r.event.detection_id())
+            .collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+
+    /// Reconstruct the ordered cross-process CDM path of one detection.
+    pub fn detection(&self, id: DetectionId) -> DetectionPath {
+        DetectionPath {
+            id,
+            events: self
+                .events
+                .iter()
+                .filter(|r| r.event.detection_id() == Some(id))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Export everything as JSON Lines: one `trace_meta` header, one
+    /// object per event, then one `phase_histograms` object per process.
+    pub fn to_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let meta = json!({
+            "type": "trace_meta",
+            "events": self.events.len(),
+            "overwritten": self.overwritten,
+        });
+        writeln!(
+            w,
+            "{}",
+            serde_json::to_string(&meta).expect("value serialization is infallible")
+        )?;
+        for rec in &self.events {
+            writeln!(
+                w,
+                "{}",
+                serde_json::to_string(&rec.to_json()).expect("value serialization is infallible")
+            )?;
+        }
+        for (proc, phases) in &self.phases {
+            if phases.total_count() == 0 {
+                continue;
+            }
+            let line = json!({
+                "type": "phase_histograms",
+                "proc": proc.0,
+                "phases": phases.to_json(),
+            });
+            writeln!(
+                w,
+                "{}",
+                serde_json::to_string(&line).expect("value serialization is infallible")
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Write the JSONL export to `path`, creating parent directories.
+    pub fn dump_jsonl(&self, path: &std::path::Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        self.to_jsonl(&mut f)
+    }
+}
+
+/// Counted processing-step balance of one detection (see
+/// [`DetectionPath::balance`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PathBalance {
+    pub started: bool,
+    pub sent: u64,
+    pub delivered: u64,
+    /// Processing steps that forwarded (each emits one `CdmForwarded`).
+    pub forward_steps: u64,
+    /// Sum of `branches` over all forward steps (== CDMs emitted).
+    pub branches: u64,
+    pub terminals: u64,
+}
+
+/// The seq-ordered event slice of one detection, with the invariant
+/// checks the property tests (and post-mortems) lean on.
+#[derive(Clone, Debug)]
+pub struct DetectionPath {
+    pub id: DetectionId,
+    pub events: Vec<Recorded>,
+}
+
+impl DetectionPath {
+    pub fn started(&self) -> bool {
+        self.events
+            .iter()
+            .any(|r| matches!(r.event, Event::DetectionStarted { .. }))
+    }
+
+    /// The initiating process, if the start event survived.
+    pub fn initiator(&self) -> Option<ProcId> {
+        self.events
+            .iter()
+            .find(|r| matches!(r.event, Event::DetectionStarted { .. }))
+            .map(|r| r.proc)
+    }
+
+    /// Distinct processes in order of first appearance.
+    pub fn procs(&self) -> Vec<ProcId> {
+        let mut out = Vec::new();
+        for r in &self.events {
+            if !out.contains(&r.proc) {
+                out.push(r.proc);
+            }
+        }
+        out
+    }
+
+    pub fn terminals(&self) -> Vec<&Recorded> {
+        self.events
+            .iter()
+            .filter(|r| r.event.is_terminal())
+            .collect()
+    }
+
+    pub fn found_cycle(&self) -> bool {
+        self.events
+            .iter()
+            .any(|r| matches!(r.event, Event::CycleDetected { .. }))
+    }
+
+    /// Count the lifecycle ledger. In a lossless, fully-drained run with
+    /// no ring overwrite:
+    ///
+    /// * `delivered == sent` (every CDM landed),
+    /// * `branches == sent` (every emitted CDM was announced by its
+    ///   forward step),
+    /// * `terminals + forward_steps == started + delivered` (every
+    ///   processing step — the initiation plus one per delivery — either
+    ///   forwarded or terminated, never both, never neither).
+    pub fn balance(&self) -> PathBalance {
+        let mut b = PathBalance {
+            started: false,
+            sent: 0,
+            delivered: 0,
+            forward_steps: 0,
+            branches: 0,
+            terminals: 0,
+        };
+        for r in &self.events {
+            match r.event {
+                Event::DetectionStarted { .. } => b.started = true,
+                Event::CdmSent { .. } => b.sent += 1,
+                Event::CdmDelivered { .. } => b.delivered += 1,
+                Event::CdmForwarded { branches, .. } => {
+                    b.forward_steps += 1;
+                    b.branches += u64::from(branches);
+                }
+                _ if r.event.is_terminal() => b.terminals += 1,
+                _ => {}
+            }
+        }
+        b
+    }
+
+    /// Check hop monotonicity: every `CdmSent` must carry a hop strictly
+    /// greater than the hop of the processing step that produced it (the
+    /// last `DetectionStarted` / `CdmDelivered` at the same process
+    /// before it). Returns the first violation.
+    pub fn check_hops_increase(&self) -> Result<(), String> {
+        use std::collections::HashMap;
+        // Hop context of the processing step currently running at each
+        // process (None once the step's outputs are done is fine: contexts
+        // are only read by the sends that follow their step).
+        let mut ctx: HashMap<ProcId, u32> = HashMap::new();
+        for r in &self.events {
+            match r.event {
+                Event::DetectionStarted { .. } => {
+                    ctx.insert(r.proc, 0);
+                }
+                Event::CdmDelivered { hop, .. } => {
+                    ctx.insert(r.proc, hop);
+                }
+                Event::CdmSent { hop, .. } => match ctx.get(&r.proc) {
+                    None => {
+                        return Err(format!(
+                            "{}: CdmSent at {} (hop {hop}) with no prior start/delivery there",
+                            self.id, r.proc
+                        ));
+                    }
+                    Some(&prev) if hop <= prev => {
+                        return Err(format!(
+                            "{}: hop not increasing at {}: sent hop {hop} after step hop {prev}",
+                            self.id, r.proc
+                        ));
+                    }
+                    Some(_) => {}
+                },
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Render the cross-process message path, e.g.
+    /// `d3: P2[r14] --r15(h1,3s/2t,112B)--> P5 --…--> cycle(7 scions)`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!("{}:", self.id);
+        for r in &self.events {
+            match r.event {
+                Event::DetectionStarted { scion, .. } => {
+                    let _ = write!(out, " {}[{}]", r.proc, scion);
+                }
+                Event::CdmSent {
+                    to,
+                    via,
+                    hop,
+                    sources,
+                    targets,
+                    bytes,
+                    ..
+                } => {
+                    let _ = write!(
+                        out,
+                        " --{via}(h{hop},{sources}s/{targets}t,{bytes}B)--> {to}"
+                    );
+                }
+                Event::CycleDetected { scions, .. } => {
+                    let _ = write!(out, " => cycle({scions} scions) at {}", r.proc);
+                }
+                Event::DetectionAborted { ref_id, .. } => {
+                    let _ = write!(out, " => aborted(ic mismatch on {ref_id}) at {}", r.proc);
+                }
+                Event::DetectionDropped { reason, .. } => {
+                    let _ = write!(out, " => dropped({}) at {}", reason.name(), r.proc);
+                }
+                Event::DetectionTerminated { reason, .. } => {
+                    let _ = write!(out, " => terminated({}) at {}", reason.name(), r.proc);
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acdgc_model::RefId;
+
+    fn cfg(capacity: usize) -> TraceConfig {
+        TraceConfig {
+            enabled: true,
+            capacity,
+            filter: TraceFilter::default(),
+        }
+    }
+
+    fn started(id: u64, scion: u64) -> Event {
+        Event::DetectionStarted {
+            id: DetectionId(id),
+            scion: RefId(scion),
+        }
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut pt = ProcTrace::disabled(ProcId(0));
+        assert!(!pt.enabled());
+        pt.record(SimTime(1), started(0, 1));
+        assert!(pt.begin(SimTime(1), Phase::Lgc).is_none());
+        assert!(pt.stopwatch().is_none());
+        assert_eq!(pt.len(), 0);
+        assert_eq!(pt.phases.total_count(), 0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts() {
+        let mut pt = ProcTrace::new(ProcId(0), &cfg(3));
+        for i in 0..5 {
+            pt.record(SimTime(i), started(i, i));
+        }
+        assert_eq!(pt.len(), 3);
+        assert_eq!(pt.overwritten(), 2);
+        let seqs: Vec<u64> = pt.events().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4], "oldest evicted, order preserved");
+    }
+
+    #[test]
+    fn shared_seq_totally_orders_across_procs() {
+        let mut a = ProcTrace::new(ProcId(0), &cfg(16));
+        let mut b = ProcTrace::new(ProcId(1), &cfg(16));
+        b.share_seq(a.seq_handle());
+        a.record(SimTime(1), started(0, 1));
+        b.record(SimTime(1), started(1, 2));
+        a.record(SimTime(2), started(2, 3));
+        let t = Trace::collect([&a, &b]);
+        let seqs: Vec<u64> = t.events.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(t.events[1].proc, ProcId(1));
+    }
+
+    #[test]
+    fn filter_suppresses_but_burns_no_seq_for_filtered() {
+        let mut c = cfg(16);
+        c.filter.phases = false;
+        let mut pt = ProcTrace::new(ProcId(0), &c);
+        let t0 = pt.begin(SimTime(1), Phase::Lgc);
+        pt.end(SimTime(1), Phase::Lgc, t0);
+        pt.record(SimTime(2), started(0, 1));
+        assert_eq!(pt.len(), 1, "phase events filtered out");
+        assert_eq!(pt.events().next().unwrap().seq, 0, "no seq gap");
+        assert_eq!(
+            pt.phases.get(Phase::Lgc).count(),
+            1,
+            "histograms still fed when the event family is filtered"
+        );
+    }
+
+    #[test]
+    fn detection_path_balance_and_hops() {
+        let mut pt = ProcTrace::new(ProcId(0), &cfg(64));
+        let mut other = ProcTrace::new(ProcId(1), &cfg(64));
+        other.share_seq(pt.seq_handle());
+        let id = DetectionId(7);
+        pt.record(SimTime(1), started(7, 1));
+        pt.record(
+            SimTime(1),
+            Event::CdmSent {
+                id,
+                to: ProcId(1),
+                via: RefId(1),
+                hop: 1,
+                sources: 1,
+                targets: 1,
+                bytes: 64,
+            },
+        );
+        pt.record(
+            SimTime(1),
+            Event::CdmForwarded {
+                id,
+                hop: 0,
+                branches: 1,
+                pruned_local: 0,
+                pruned_no_new_info: 0,
+            },
+        );
+        other.record(
+            SimTime(2),
+            Event::CdmDelivered {
+                id,
+                via: RefId(1),
+                hop: 1,
+                sources: 1,
+                targets: 1,
+                bytes: 64,
+            },
+        );
+        other.record(
+            SimTime(2),
+            Event::CycleDetected {
+                id,
+                hop: 1,
+                scions: 2,
+            },
+        );
+        let trace = Trace::collect([&pt, &other]);
+        let path = trace.detection(id);
+        assert_eq!(path.procs(), vec![ProcId(0), ProcId(1)]);
+        assert_eq!(path.initiator(), Some(ProcId(0)));
+        let b = path.balance();
+        assert!(b.started);
+        assert_eq!((b.sent, b.delivered), (1, 1));
+        assert_eq!(b.terminals + b.forward_steps, 1 + b.delivered);
+        assert_eq!(b.branches, b.sent);
+        path.check_hops_increase().unwrap();
+        assert!(path.found_cycle());
+        assert!(path.render().contains("=> cycle(2 scions)"));
+    }
+
+    #[test]
+    fn hop_violation_is_reported() {
+        let mut pt = ProcTrace::new(ProcId(0), &cfg(16));
+        pt.record(SimTime(1), started(3, 1));
+        pt.record(
+            SimTime(1),
+            Event::CdmSent {
+                id: DetectionId(3),
+                to: ProcId(1),
+                via: RefId(1),
+                hop: 0, // must be > 0 after a start
+                sources: 1,
+                targets: 1,
+                bytes: 64,
+            },
+        );
+        let trace = Trace::collect([&pt]);
+        assert!(trace
+            .detection(DetectionId(3))
+            .check_hops_increase()
+            .is_err());
+    }
+
+    #[test]
+    fn jsonl_has_one_object_per_line() {
+        let mut pt = ProcTrace::new(ProcId(0), &cfg(16));
+        let t0 = pt.begin(SimTime(1), Phase::SummarizeEngine);
+        pt.end(SimTime(1), Phase::SummarizeEngine, t0);
+        pt.record(SimTime(2), started(0, 9));
+        let trace = Trace::collect([&pt]);
+        let mut buf = Vec::new();
+        trace.to_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // meta + 3 events + 1 histogram line.
+        assert_eq!(lines.len(), 5, "{text}");
+        for line in lines {
+            serde_json::from_str(line).expect("every line parses as JSON");
+        }
+    }
+}

@@ -28,6 +28,8 @@ pub mod acyclic;
 pub mod messages;
 pub mod tables;
 
-pub use acyclic::{apply_new_set_stubs, build_new_set_stubs, AppliedNss, NewSetStubs};
+pub use acyclic::{
+    apply_new_set_stubs, apply_new_set_stubs_observed, build_new_set_stubs, AppliedNss, NewSetStubs,
+};
 pub use messages::{ExportedRef, InvokePayload, ReplyPayload};
 pub use tables::{RemotingStats, RemotingTables, Scion, Stub};

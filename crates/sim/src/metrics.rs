@@ -2,8 +2,9 @@
 
 use serde::Serialize;
 
-/// Counters accumulated by a [`crate::System`] run. All monotone; snapshot
-/// and subtract to measure a window.
+/// Counters accumulated by a [`crate::System`] run. All monotone counters
+/// except [`Metrics::max_cdm_bytes`], which is a high-water gauge; snapshot
+/// and subtract with [`Metrics::since`] to measure a window.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
 pub struct Metrics {
     // Mutator.
@@ -47,7 +48,21 @@ pub struct Metrics {
     /// Sibling branches stopped by the §3.1 step 15 no-new-information
     /// rule while other branches kept going.
     pub branches_no_new_info: u64,
+    /// High-water gauge, not a counter: the largest encoded CDM seen.
     pub max_cdm_bytes: u64,
+
+    // Fault injection / unreliable transport (threaded runtime).
+    pub nss_dropped: u64,
+    pub cdms_dropped: u64,
+    pub deletes_dropped: u64,
+    pub acks_dropped: u64,
+    pub faults_injected: u64,
+    pub duplicates_injected: u64,
+    pub nss_retries: u64,
+
+    // Quiescence voting (threaded runtime).
+    pub votes_cast: u64,
+    pub votes_rescinded: u64,
 
     // Oracle verdicts (safety violations; must stay 0 unless an unsafe
     // ablation is deliberately enabled).
@@ -57,16 +72,12 @@ pub struct Metrics {
     pub reply_on_missing_stub: u64,
 }
 
-impl Metrics {
-    /// Difference `self - earlier` for window measurements; saturating so a
-    /// reset never panics.
-    pub fn since(&self, earlier: &Metrics) -> Metrics {
-        macro_rules! diff {
-            ($($f:ident),* $(,)?) => {
-                Metrics { $($f: self.$f.saturating_sub(earlier.$f)),* }
-            };
-        }
-        diff!(
+/// Every counter field, i.e. every field except the `max_cdm_bytes` gauge.
+/// Both `since` and `absorb` must treat the gauge specially, so the list
+/// lives in one place.
+macro_rules! for_each_counter {
+    ($m:ident) => {
+        $m!(
             invocations,
             replies,
             refs_exported,
@@ -94,12 +105,50 @@ impl Metrics {
             detections_terminated_budget,
             branches_pruned_local,
             branches_no_new_info,
-            max_cdm_bytes,
+            nss_dropped,
+            cdms_dropped,
+            deletes_dropped,
+            acks_dropped,
+            faults_injected,
+            duplicates_injected,
+            nss_retries,
+            votes_cast,
+            votes_rescinded,
             unsafe_frees,
             unsafe_scion_deletes,
             invoke_on_missing_scion,
             reply_on_missing_stub,
         )
+    };
+}
+
+impl Metrics {
+    /// Difference `self - earlier` for window measurements; saturating so a
+    /// reset never panics. Counters subtract; the `max_cdm_bytes` gauge
+    /// carries the later value (a high-water mark has no meaningful
+    /// per-window difference).
+    pub fn since(&self, earlier: &Metrics) -> Metrics {
+        macro_rules! diff {
+            ($($f:ident),* $(,)?) => {
+                Metrics {
+                    $($f: self.$f.saturating_sub(earlier.$f),)*
+                    max_cdm_bytes: self.max_cdm_bytes,
+                }
+            };
+        }
+        for_each_counter!(diff)
+    }
+
+    /// Merge `other` into `self`: counters add, the gauge takes the max.
+    /// Used to fold per-process metrics into a system-wide view.
+    pub fn absorb(&mut self, other: &Metrics) {
+        macro_rules! add {
+            ($($f:ident),* $(,)?) => {
+                $(self.$f += other.$f;)*
+            };
+        }
+        for_each_counter!(add);
+        self.max_cdm_bytes = self.max_cdm_bytes.max(other.max_cdm_bytes);
     }
 
     /// All detection attempts that ended without finding a cycle.
@@ -149,6 +198,45 @@ mod tests {
             ..Metrics::default()
         };
         assert_eq!(a.since(&b).invocations, 0);
+    }
+
+    #[test]
+    fn since_keeps_gauge_not_difference() {
+        // `max_cdm_bytes` is a high-water mark. A window where the largest
+        // CDM did not grow must still report the current high water, not
+        // the bogus fieldwise difference (which would be 0).
+        let earlier = Metrics {
+            max_cdm_bytes: 512,
+            cdms_sent: 10,
+            ..Metrics::default()
+        };
+        let later = Metrics {
+            max_cdm_bytes: 512,
+            cdms_sent: 25,
+            ..Metrics::default()
+        };
+        let window = later.since(&earlier);
+        assert_eq!(window.cdms_sent, 15);
+        assert_eq!(window.max_cdm_bytes, 512);
+    }
+
+    #[test]
+    fn absorb_adds_counters_and_maxes_gauge() {
+        let mut merged = Metrics {
+            cdms_sent: 3,
+            max_cdm_bytes: 100,
+            ..Metrics::default()
+        };
+        let other = Metrics {
+            cdms_sent: 4,
+            cycles_detected: 1,
+            max_cdm_bytes: 64,
+            ..Metrics::default()
+        };
+        merged.absorb(&other);
+        assert_eq!(merged.cdms_sent, 7);
+        assert_eq!(merged.cycles_detected, 1);
+        assert_eq!(merged.max_cdm_bytes, 100);
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! One simulated process: heap + remoting tables + published summary +
 //! detector heuristic state + GC scheduling.
 
-use acdgc_dcda::{scan_candidates, CandidateScan, CandidateState};
+use crate::metrics::Metrics;
+use acdgc_dcda::{scan_candidates, scan_candidates_observed, CandidateScan, CandidateState};
 use acdgc_heap::Heap;
 use acdgc_model::{GcConfig, ProcId, SimTime, SummarizerKind};
+use acdgc_obs::ProcTrace;
 use acdgc_remoting::RemotingTables;
-use acdgc_snapshot::{summarize, SccEngine, SummarizedGraph};
+use acdgc_snapshot::{SccEngine, SummarizedGraph};
 
 /// The state of one process. Mutation flows through [`crate::System`]
 /// (which owns all processes and the network), or through a
@@ -21,6 +23,14 @@ pub struct Process {
     /// Reusable single-pass summarizer: per-process so parallel snapshot
     /// stages share nothing, and so its scratch amortizes across rounds.
     pub engine: SccEngine,
+    /// Per-process event ring + phase histograms. Disabled unless
+    /// `cfg.trace.enabled`; runtimes link all processes to one shared
+    /// sequence counter so the collected view is totally ordered.
+    pub obs: ProcTrace,
+    /// This process's share of the system counters. The runtimes keep the
+    /// merged [`Metrics`] too; per-process attribution is what skewed
+    /// workloads need.
+    pub metrics: Metrics,
     /// Next scheduled phase times (periodic mode).
     pub next_lgc: SimTime,
     pub next_snapshot: SimTime,
@@ -41,6 +51,8 @@ impl Process {
             summary: SummarizedGraph::empty(proc),
             candidates: CandidateState::new(),
             engine: SccEngine::new(),
+            obs: ProcTrace::new(proc, &cfg.trace),
+            metrics: Metrics::default(),
             next_lgc: stagger(cfg.lgc_period.as_ticks()),
             next_snapshot: stagger(cfg.snapshot_period.as_ticks()),
             next_scan: stagger(cfg.scan_period.as_ticks()),
@@ -62,15 +74,24 @@ impl Process {
     /// Re-summarize the heap and publish the result, using the configured
     /// summarizer implementation, then prune candidate state against the
     /// fresh summary. Touches only this process — safe to run for many
-    /// processes in parallel.
+    /// processes in parallel (each process traces into its own ring).
     pub fn refresh_summary(&mut self, kind: SummarizerKind, now: SimTime) {
         let version = self.next_summary_version();
         self.summary = match kind {
-            SummarizerKind::SccEngine => {
-                self.engine
-                    .summarize(&self.heap, &self.tables, version, now)
-            }
-            SummarizerKind::Reference => summarize(&self.heap, &self.tables, version, now),
+            SummarizerKind::SccEngine => self.engine.summarize_observed(
+                &self.heap,
+                &self.tables,
+                version,
+                now,
+                &mut self.obs,
+            ),
+            SummarizerKind::Reference => acdgc_snapshot::summarize_observed(
+                &self.heap,
+                &self.tables,
+                version,
+                now,
+                &mut self.obs,
+            ),
         };
         self.candidates.retain_known(&self.summary);
     }
@@ -80,7 +101,11 @@ impl Process {
     /// (retry backoff / scan cap). Shared by the sequential and threaded
     /// runtimes so both see one retry policy.
     pub fn scan(&mut self, now: SimTime, cfg: &GcConfig) -> CandidateScan {
-        scan_candidates(&self.summary, &mut self.candidates, now, cfg)
+        if self.obs.enabled() {
+            scan_candidates_observed(&self.summary, &mut self.candidates, now, cfg, &mut self.obs)
+        } else {
+            scan_candidates(&self.summary, &mut self.candidates, now, cfg)
+        }
     }
 
     /// Earliest scheduled phase time for the event loop.
@@ -121,5 +146,15 @@ mod tests {
         p.next_scan = SimTime(70);
         p.next_monitor = SimTime(90);
         assert_eq!(p.next_task_at(), SimTime(10));
+    }
+
+    #[test]
+    fn trace_disabled_by_default_enabled_by_config() {
+        let mut cfg = GcConfig::default();
+        let p = Process::new(ProcId(0), &cfg);
+        assert!(!p.obs.enabled());
+        cfg.trace = acdgc_model::TraceConfig::on();
+        let p = Process::new(ProcId(0), &cfg);
+        assert!(p.obs.enabled());
     }
 }

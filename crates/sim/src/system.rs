@@ -11,8 +11,9 @@ use acdgc_model::{
     SimDuration, SimTime,
 };
 use acdgc_net::{Envelope, MessageClass, NetStats, Network};
+use acdgc_obs::{Event, Phase, Trace};
 use acdgc_remoting::{
-    apply_new_set_stubs, build_new_set_stubs, ExportedRef, InvokePayload, ReplyPayload,
+    apply_new_set_stubs_observed, build_new_set_stubs, ExportedRef, InvokePayload, ReplyPayload,
 };
 use rayon::prelude::*;
 use rustc_hash::FxHashSet;
@@ -34,9 +35,15 @@ pub struct System {
 impl System {
     pub fn new(num_procs: usize, cfg: GcConfig, net_cfg: NetConfig, seed: u64) -> Self {
         assert!(num_procs >= 1 && num_procs <= u16::MAX as usize);
-        let procs = (0..num_procs)
+        let mut procs: Vec<Process> = (0..num_procs)
             .map(|i| Process::new(ProcId(i as u16), &cfg))
             .collect();
+        // One sequence counter across all processes: collected traces are
+        // totally ordered by recording order, not just per-process.
+        let seq = procs[0].obs.seq_handle();
+        for proc in &mut procs[1..] {
+            proc.obs.share_seq(seq.clone());
+        }
         System {
             cfg,
             procs,
@@ -80,6 +87,26 @@ impl System {
 
     pub fn net_stats(&self) -> NetStats {
         self.net.stats()
+    }
+
+    /// This process's share of the system counters. `self.metrics` stays
+    /// the merged view; per-process attribution is what skewed workloads
+    /// need.
+    pub fn metrics_for(&self, p: ProcId) -> &Metrics {
+        &self.procs[p.index()].metrics
+    }
+
+    /// Collect the per-process event rings into one totally ordered trace
+    /// (empty when tracing is disabled).
+    pub fn trace(&self) -> Trace {
+        Trace::collect(self.procs.iter().map(|p| &p.obs))
+    }
+
+    /// Apply one counter update to the merged ledger *and* the owning
+    /// process's ledger, keeping the two views consistent by construction.
+    fn bump(&mut self, p: ProcId, f: impl Fn(&mut Metrics)) {
+        f(&mut self.metrics);
+        f(&mut self.procs[p.index()].metrics);
     }
 
     /// Sever both directions between two processes (subsequent sends are
@@ -260,7 +287,7 @@ impl System {
         self.procs[caller.index()]
             .tables
             .record_send_through_stub(via)?;
-        self.metrics.invocations += 1;
+        self.bump(caller, |m| m.invocations += 1);
         // An invocation in flight is a use of the reference: its scion may
         // not be reclaimed until the call lands (in a real runtime the
         // caller's stack pins the proxy for the duration of the RPC).
@@ -371,7 +398,7 @@ impl System {
                 // is a placeholder for the wire format only.
                 self.ids.next_ref_id()
             };
-            self.metrics.refs_exported += 1;
+            self.bump(exporter, |m| m.refs_exported += 1);
             out.push(ExportedRef { ref_id, target });
         }
         Ok(out)
@@ -442,13 +469,16 @@ impl System {
 
         let proc = &mut self.procs[p.index()];
         let targets = proc.tables.scion_target_slots();
-        let result = lgc::collect(&mut proc.heap, &targets);
-        self.metrics.lgc_runs += 1;
-        self.metrics.objects_reclaimed += result.sweep.freed.len() as u64;
+        let result = lgc::collect_observed(&mut proc.heap, &targets, now, &mut proc.obs);
+        let freed = result.sweep.freed.len() as u64;
+        self.bump(p, |m| {
+            m.lgc_runs += 1;
+            m.objects_reclaimed += freed;
+        });
         if let Some(live) = &oracle_live {
             for freed in &result.sweep.freed {
                 if live.contains(freed) {
-                    self.metrics.unsafe_frees += 1;
+                    self.bump(p, |m| m.unsafe_frees += 1);
                     if std::env::var_os("ACDGC_DEBUG_UNSAFE").is_some() {
                         eprintln!("UNSAFE FREE at {p}: {freed:?}; scion targets were {targets:?}");
                         for q in &self.procs {
@@ -509,7 +539,16 @@ impl System {
             .collect();
         let msgs = build_new_set_stubs(&mut self.procs[p.index()].tables, &peers, now);
         for (dest, m) in msgs {
-            self.metrics.nss_sent += 1;
+            self.bump(p, |m| m.nss_sent += 1);
+            self.procs[p.index()].obs.record(
+                now,
+                Event::NssSent {
+                    to: dest,
+                    seq: m.seq,
+                    live_refs: m.live_refs.len() as u32,
+                    retry: false,
+                },
+            );
             let size = m.size_bytes();
             self.net
                 .send(now, p, dest, MessageClass::Gc, size, SysMessage::Nss(m));
@@ -523,7 +562,7 @@ impl System {
             return;
         }
         let now = self.clock;
-        self.metrics.monitor_passes += 1;
+        self.bump(p, |m| m.monitor_passes += 1);
         let removed = self.procs[p.index()].tables.monitor_pass();
         if removed.is_empty() {
             return;
@@ -534,7 +573,16 @@ impl System {
             .collect();
         let msgs = build_new_set_stubs(&mut self.procs[p.index()].tables, &peers, now);
         for (dest, m) in msgs {
-            self.metrics.nss_sent += 1;
+            self.bump(p, |m| m.nss_sent += 1);
+            self.procs[p.index()].obs.record(
+                now,
+                Event::NssSent {
+                    to: dest,
+                    seq: m.seq,
+                    live_refs: m.live_refs.len() as u32,
+                    retry: false,
+                },
+            );
             let size = m.size_bytes();
             self.net
                 .send(now, p, dest, MessageClass::Gc, size, SysMessage::Nss(m));
@@ -544,11 +592,18 @@ impl System {
     /// Snapshot + summarize `p`, publishing a new summary atomically.
     pub fn take_snapshot(&mut self, p: ProcId) {
         let now = self.clock;
+        let kind = self.cfg.summarizer;
         let proc = &mut self.procs[p.index()];
-        proc.refresh_summary(self.cfg.summarizer, now);
-        self.metrics.snapshots += 1;
-        self.metrics.summary_scions += proc.summary.scions.len() as u64;
-        self.metrics.summary_stubs += proc.summary.stubs.len() as u64;
+        proc.refresh_summary(kind, now);
+        let (scions, stubs) = (
+            proc.summary.scions.len() as u64,
+            proc.summary.stubs.len() as u64,
+        );
+        self.bump(p, |m| {
+            m.snapshots += 1;
+            m.summary_scions += scions;
+            m.summary_stubs += stubs;
+        });
     }
 
     /// Snapshot + summarize every process. Summarization reads only
@@ -568,10 +623,17 @@ impl System {
                 proc.refresh_summary(kind, now);
             }
         }
-        for proc in &self.procs {
-            self.metrics.snapshots += 1;
-            self.metrics.summary_scions += proc.summary.scions.len() as u64;
-            self.metrics.summary_stubs += proc.summary.stubs.len() as u64;
+        for i in 0..self.procs.len() {
+            let proc = &self.procs[i];
+            let (scions, stubs) = (
+                proc.summary.scions.len() as u64,
+                proc.summary.stubs.len() as u64,
+            );
+            self.bump(ProcId(i as u16), |m| {
+                m.snapshots += 1;
+                m.summary_scions += scions;
+                m.summary_stubs += stubs;
+            });
         }
     }
 
@@ -587,18 +649,34 @@ impl System {
     /// Start one detection from `scion` at `p` (used by scans and directly
     /// by tests that pick their own candidates).
     pub fn initiate_detection(&mut self, p: ProcId, scion: RefId) {
+        let now = self.clock;
         let proc = &self.procs[p.index()];
         let Some(summary_scion) = proc.summary.scion(scion) else {
-            self.metrics.detections_dropped_no_scion += 1;
+            self.bump(p, |m| m.detections_dropped_no_scion += 1);
             return;
         };
         let cdm = Cdm::initiate(self.ids.next_detection_id(), p, scion, summary_scion.ic);
-        self.metrics.detections_started += 1;
+        let id = cdm.detection_id;
+        let sw = proc.obs.stopwatch();
         let outcome = acdgc_dcda::initiate(&proc.summary, cdm, scion, &self.cfg);
-        self.handle_outcome(p, outcome);
+        self.bump(p, |m| m.detections_started += 1);
+        self.procs[p.index()]
+            .obs
+            .record(now, Event::DetectionStarted { id, scion });
+        self.handle_outcome(p, id, 0, outcome);
+        self.procs[p.index()].obs.lap(Phase::CdmHandling, sw);
     }
 
-    fn handle_outcome(&mut self, p: ProcId, outcome: Outcome) {
+    /// Apply one processing step's [`Outcome`] at `p`: counters, trace
+    /// events and the resulting traffic. `id` and `hop` identify the step
+    /// (`hop` 0 for initiations, the arriving CDM's hop count otherwise).
+    fn handle_outcome(
+        &mut self,
+        p: ProcId,
+        id: acdgc_model::DetectionId,
+        hop: u32,
+        outcome: Outcome,
+    ) {
         let now = self.clock;
         match outcome {
             Outcome::Forwarded {
@@ -606,12 +684,40 @@ impl System {
                 branches_pruned_local,
                 branches_no_new_info,
             } => {
-                self.metrics.branches_pruned_local += u64::from(branches_pruned_local);
-                self.metrics.branches_no_new_info += u64::from(branches_no_new_info);
+                self.bump(p, |m| {
+                    m.branches_pruned_local += u64::from(branches_pruned_local);
+                    m.branches_no_new_info += u64::from(branches_no_new_info);
+                });
+                self.procs[p.index()].obs.record(
+                    now,
+                    Event::CdmForwarded {
+                        id,
+                        hop,
+                        branches: list.len() as u32,
+                        pruned_local: branches_pruned_local,
+                        pruned_no_new_info: branches_no_new_info,
+                    },
+                );
                 for ob in list {
-                    self.metrics.cdms_sent += 1;
                     let size = 8 + ob.cdm.size_bytes();
-                    self.metrics.max_cdm_bytes = self.metrics.max_cdm_bytes.max(size as u64);
+                    self.bump(p, |m| {
+                        m.cdms_sent += 1;
+                        m.max_cdm_bytes = m.max_cdm_bytes.max(size as u64);
+                    });
+                    self.procs[p.index()].obs.record(
+                        now,
+                        Event::CdmSent {
+                            id,
+                            to: ob.dest,
+                            via: ob.via,
+                            // Hop depth at which the receiver will process
+                            // it (the detector increments on delivery).
+                            hop: ob.cdm.hops + 1,
+                            sources: ob.cdm.source.len() as u32,
+                            targets: ob.cdm.target.len() as u32,
+                            bytes: size as u32,
+                        },
+                    );
                     self.net.send(
                         now,
                         p,
@@ -626,7 +732,15 @@ impl System {
                 }
             }
             Outcome::CycleFound { delete } => {
-                self.metrics.cycles_detected += 1;
+                self.bump(p, |m| m.cycles_detected += 1);
+                self.procs[p.index()].obs.record(
+                    now,
+                    Event::CycleDetected {
+                        id,
+                        hop,
+                        scions: delete.len() as u32,
+                    },
+                );
                 for (owner, scion, incarnation) in delete {
                     if owner == p {
                         self.delete_proven_scion(p, scion, incarnation);
@@ -637,19 +751,74 @@ impl System {
                     }
                 }
             }
-            Outcome::DroppedNoScion => self.metrics.detections_dropped_no_scion += 1,
-            Outcome::AbortedIcMismatch { .. } => self.metrics.detections_aborted_ic += 1,
-            Outcome::DroppedHopCap => self.metrics.detections_dropped_hops += 1,
-            Outcome::Terminated(reason) => match reason {
-                TerminateReason::NoStubs => self.metrics.detections_terminated_no_stubs += 1,
-                TerminateReason::AllStubsLocallyReachable => {
-                    self.metrics.detections_terminated_local += 1
-                }
-                TerminateReason::NoNewInformation => {
-                    self.metrics.detections_terminated_no_new_info += 1
-                }
-                TerminateReason::BudgetExhausted => self.metrics.detections_terminated_budget += 1,
-            },
+            Outcome::DroppedNoScion => {
+                self.bump(p, |m| m.detections_dropped_no_scion += 1);
+                self.procs[p.index()].obs.record(
+                    now,
+                    Event::DetectionDropped {
+                        id,
+                        hop,
+                        reason: acdgc_obs::DropReason::NoScion,
+                    },
+                );
+            }
+            Outcome::AbortedIcMismatch {
+                ref_id,
+                source_ic,
+                target_ic,
+            } => {
+                self.bump(p, |m| m.detections_aborted_ic += 1);
+                self.procs[p.index()].obs.record(
+                    now,
+                    Event::DetectionAborted {
+                        id,
+                        hop,
+                        ref_id,
+                        source_ic,
+                        target_ic,
+                    },
+                );
+            }
+            Outcome::DroppedHopCap => {
+                self.bump(p, |m| m.detections_dropped_hops += 1);
+                self.procs[p.index()].obs.record(
+                    now,
+                    Event::DetectionDropped {
+                        id,
+                        hop,
+                        reason: acdgc_obs::DropReason::HopCap,
+                    },
+                );
+            }
+            Outcome::Terminated(reason) => {
+                let (field, obs_reason): (fn(&mut Metrics) -> &mut u64, _) = match reason {
+                    TerminateReason::NoStubs => (
+                        |m| &mut m.detections_terminated_no_stubs,
+                        acdgc_obs::TermReason::NoStubs,
+                    ),
+                    TerminateReason::AllStubsLocallyReachable => (
+                        |m| &mut m.detections_terminated_local,
+                        acdgc_obs::TermReason::AllStubsLocallyReachable,
+                    ),
+                    TerminateReason::NoNewInformation => (
+                        |m| &mut m.detections_terminated_no_new_info,
+                        acdgc_obs::TermReason::NoNewInformation,
+                    ),
+                    TerminateReason::BudgetExhausted => (
+                        |m| &mut m.detections_terminated_budget,
+                        acdgc_obs::TermReason::BudgetExhausted,
+                    ),
+                };
+                self.bump(p, |m| *field(m) += 1);
+                self.procs[p.index()].obs.record(
+                    now,
+                    Event::DetectionTerminated {
+                        id,
+                        hop,
+                        reason: obs_reason,
+                    },
+                );
+            }
         }
     }
 
@@ -665,12 +834,18 @@ impl System {
             } => self.dispatch_invoke(env.src, dst, payload, reply_exports, receiver),
             SysMessage::Reply { payload, receiver } => self.dispatch_reply(dst, payload, receiver),
             SysMessage::Nss(nss) => {
-                let applied = apply_new_set_stubs(&mut self.procs[dst.index()].tables, &nss);
+                let now = self.clock;
+                let proc = &mut self.procs[dst.index()];
+                let applied =
+                    apply_new_set_stubs_observed(&mut proc.tables, &nss, now, &mut proc.obs);
                 if applied.stale {
-                    self.metrics.nss_stale += 1;
+                    self.bump(dst, |m| m.nss_stale += 1);
                 } else {
-                    self.metrics.nss_applied += 1;
-                    self.metrics.scions_reclaimed_acyclic += applied.removed.len() as u64;
+                    let removed = applied.removed.len() as u64;
+                    self.bump(dst, |m| {
+                        m.nss_applied += 1;
+                        m.scions_reclaimed_acyclic += removed;
+                    });
                     if std::env::var_os("ACDGC_DEBUG_UNSAFE").is_some() {
                         for sc in &applied.removed {
                             eprintln!(
@@ -682,10 +857,30 @@ impl System {
                 }
             }
             SysMessage::Cdm { via, cdm } => {
-                self.metrics.cdms_delivered += 1;
+                let now = self.clock;
+                let id = cdm.detection_id;
+                // This processing step's hop depth (deliver increments the
+                // wire value before expanding).
+                let hop = cdm.hops + 1;
+                let (sources, targets) = (cdm.source.len() as u32, cdm.target.len() as u32);
+                let bytes = (8 + cdm.size_bytes()) as u32;
+                self.bump(dst, |m| m.cdms_delivered += 1);
+                self.procs[dst.index()].obs.record(
+                    now,
+                    Event::CdmDelivered {
+                        id,
+                        via,
+                        hop,
+                        sources,
+                        targets,
+                        bytes,
+                    },
+                );
+                let sw = self.procs[dst.index()].obs.stopwatch();
                 let outcome =
                     acdgc_dcda::deliver(&self.procs[dst.index()].summary, cdm, via, &self.cfg);
-                self.handle_outcome(dst, outcome);
+                self.handle_outcome(dst, id, hop, outcome);
+                self.procs[dst.index()].obs.lap(Phase::CdmHandling, sw);
             }
             SysMessage::DeleteScion { scion, incarnation } => {
                 self.delete_proven_scion(dst, scion, incarnation);
@@ -720,17 +915,20 @@ impl System {
             if let Some(holder) = holder {
                 let live = oracle::global_live(&*self);
                 if oracle::ref_is_live(&*self, holder, scion, &live) {
-                    self.metrics.unsafe_scion_deletes += 1;
+                    self.bump(p, |m| m.unsafe_scion_deletes += 1);
                 }
             }
         }
+        let now = self.clock;
         let proc = &mut self.procs[p.index()];
         let pinned = proc.tables.scion(scion).is_some_and(|s| s.pinned > 0);
         if !pinned {
             if proc.tables.remove_scion(scion).is_some() {
-                self.metrics.scions_deleted_by_dcda += 1;
+                proc.obs
+                    .record(now, Event::ScionDeleted { scion, incarnation });
+                self.bump(p, |m| m.scions_deleted_by_dcda += 1);
             }
-            proc.summary.scions.remove(&scion);
+            self.procs[p.index()].summary.scions.remove(&scion);
         }
     }
 
@@ -757,7 +955,7 @@ impl System {
             // The scion vanished under a live reference — with a sound
             // collector this only happens if something unsafe occurred
             // (the scion was pinned at send time).
-            self.metrics.invoke_on_missing_scion += 1;
+            self.bump(dst, |m| m.invoke_on_missing_scion += 1);
             // Release pins so the export scions are not leaked.
             self.import_exports(dst, None, &payload.exports);
             return;
@@ -774,7 +972,7 @@ impl System {
             let _ = self.procs[dst.index()]
                 .tables
                 .record_reply_sent_through_scion(payload.ref_id, now);
-            self.metrics.replies += 1;
+            self.bump(dst, |m| m.replies += 1);
             let msg = SysMessage::Reply {
                 payload: ReplyPayload {
                     ref_id: payload.ref_id,
@@ -794,7 +992,7 @@ impl System {
             .record_reply_received_through_stub(payload.ref_id)
             .is_err()
         {
-            self.metrics.reply_on_missing_stub += 1;
+            self.bump(dst, |m| m.reply_on_missing_stub += 1);
         }
         self.import_exports(dst, receiver, &payload.exports);
     }

@@ -45,12 +45,14 @@
 //! handshake — is not needed here because no references are exported while
 //! the threads run.
 
+use crate::metrics::Metrics;
 use crate::process::Process;
 use acdgc_dcda::{Cdm, Outcome, TerminateReason};
 use acdgc_heap::lgc;
 use acdgc_model::rng::component_rng;
 use acdgc_model::{DetectionId, GcConfig, IntegrationMode, NetConfig, ProcId, RefId, SimTime};
-use acdgc_remoting::{apply_new_set_stubs, build_new_set_stubs, NewSetStubs};
+use acdgc_obs::{DropReason, Event, Phase, TermReason};
+use acdgc_remoting::{apply_new_set_stubs_observed, build_new_set_stubs, NewSetStubs};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
@@ -215,10 +217,25 @@ pub fn run_concurrent_collection_with_faults(
     seed: u64,
     deadline: Duration,
 ) -> (Vec<Process>, Arc<ThreadedStats>) {
+    let mut procs = procs;
     let n = procs.len();
     let stats = Arc::new(ThreadedStats::default());
     let quiescence = Arc::new(Quiescence::new(n as u64));
     let detection_ids = Arc::new(AtomicU64::new(0));
+
+    // (Re)arm tracing per this run's config and link every process to one
+    // shared sequence counter (seeded past any events recorded while the
+    // topology was built sequentially) so the merged trace stays totally
+    // ordered across threads.
+    if !procs.is_empty() {
+        for p in procs.iter_mut() {
+            p.obs.reconfigure(&cfg.trace);
+        }
+        let seq = procs[0].obs.seq_handle();
+        for p in procs[1..].iter_mut() {
+            p.obs.share_seq(seq.clone());
+        }
+    }
 
     let mut senders: Vec<Sender<ThreadMsg>> = Vec::with_capacity(n);
     let mut receivers: Vec<Option<Receiver<ThreadMsg>>> = Vec::with_capacity(n);
@@ -241,6 +258,7 @@ pub fn run_concurrent_collection_with_faults(
         let ctx = WorkerCtx {
             me: ProcId(i as u16),
             txs: senders.clone(),
+            trace_on: cfg.trace.enabled,
             cfg: cfg.clone(),
             net: net.clone(),
             rng: component_rng(seed, &format!("threaded-faults-{i}")),
@@ -248,6 +266,9 @@ pub fn run_concurrent_collection_with_faults(
             quiescence: Arc::clone(&quiescence),
             detection_ids: Arc::clone(&detection_ids),
             nss_out: FxHashMap::default(),
+            local: Metrics::default(),
+            pending: Vec::new(),
+            started: start,
             round: 0,
             voted: false,
             quiet_streak: 0,
@@ -287,6 +308,8 @@ struct NssOutbound {
 struct WorkerCtx {
     me: ProcId,
     txs: Vec<Sender<ThreadMsg>>,
+    /// `cfg.trace.enabled`, hoisted so hot paths branch on a bool.
+    trace_on: bool,
     cfg: GcConfig,
     net: NetConfig,
     rng: SmallRng,
@@ -294,6 +317,18 @@ struct WorkerCtx {
     quiescence: Arc<Quiescence>,
     detection_ids: Arc<AtomicU64>,
     nss_out: FxHashMap<ProcId, NssOutbound>,
+    /// This worker's metrics accumulator: counted lock-free on the hot
+    /// path, folded into the process ledger at sweep boundaries (and once
+    /// after the final drain) by [`WorkerCtx::flush_into`]. Mirrors the
+    /// [`ThreadedStats`] counters so sequential and threaded runs emit
+    /// comparable `Metrics`.
+    local: Metrics,
+    /// Events recorded while the process lock is *not* held (vote
+    /// transitions, send-path drops' NSS bookkeeping). Flushed into the
+    /// per-process ring at sweep boundaries so the hot path never takes a
+    /// shared lock just to trace.
+    pending: Vec<(SimTime, Event)>,
+    started: Instant,
     round: u64,
     voted: bool,
     quiet_streak: u32,
@@ -321,12 +356,53 @@ enum MsgKind {
 }
 
 impl WorkerCtx {
+    /// This worker's clock: microseconds since the run started. The
+    /// threaded runtime has no shared simulated clock; wall time is the
+    /// only order that means anything across threads.
+    fn now(&self) -> SimTime {
+        SimTime(self.started.elapsed().as_micros() as u64 + 1)
+    }
+
+    /// Buffer an event without taking the process lock; delivered to the
+    /// per-process ring at the next [`WorkerCtx::flush_into`].
+    fn trace(&mut self, event: Event) {
+        if self.trace_on {
+            self.pending.push((self.now(), event));
+        }
+    }
+
+    /// Fold this worker's lock-free accumulations into the process: the
+    /// `local` metrics into the process ledger, the `pending` events into
+    /// the process ring. Called with the lock held at sweep boundaries and
+    /// once after the final drain.
+    fn flush_into(&mut self, p: &mut Process) {
+        if self.local != Metrics::default() {
+            p.metrics.absorb(&self.local);
+            self.local = Metrics::default();
+        }
+        for (at, event) in self.pending.drain(..) {
+            p.obs.record(at, event);
+        }
+    }
+
     fn drop_counter(&self, kind: MsgKind) -> &AtomicU64 {
         match kind {
             MsgKind::Nss => &self.stats.nss_dropped,
             MsgKind::Ack => &self.stats.acks_dropped,
             MsgKind::Cdm => &self.stats.cdms_dropped,
             MsgKind::Delete => &self.stats.deletes_dropped,
+        }
+    }
+
+    /// Count one loss in the per-kind shared counter *and* the worker's
+    /// local `Metrics` mirror.
+    fn count_drop(&mut self, kind: MsgKind) {
+        self.drop_counter(kind).fetch_add(1, Ordering::Relaxed);
+        match kind {
+            MsgKind::Nss => self.local.nss_dropped += 1,
+            MsgKind::Ack => self.local.acks_dropped += 1,
+            MsgKind::Cdm => self.local.cdms_dropped += 1,
+            MsgKind::Delete => self.local.deletes_dropped += 1,
         }
     }
 
@@ -339,7 +415,8 @@ impl WorkerCtx {
             .gen_bool(self.net.gc_drop_probability.clamp(0.0, 1.0))
         {
             self.stats.faults_injected.fetch_add(1, Ordering::Relaxed);
-            self.drop_counter(kind).fetch_add(1, Ordering::Relaxed);
+            self.local.faults_injected += 1;
+            self.count_drop(kind);
             return;
         }
         let copies = if self
@@ -349,6 +426,7 @@ impl WorkerCtx {
             self.stats
                 .duplicates_injected
                 .fetch_add(1, Ordering::Relaxed);
+            self.local.duplicates_injected += 1;
             2
         } else {
             1
@@ -357,7 +435,7 @@ impl WorkerCtx {
             if self.txs[dest.index()].try_send(msg.clone()).is_ok() {
                 self.quiescence.enqueued.fetch_add(1, Ordering::SeqCst);
             } else {
-                self.drop_counter(kind).fetch_add(1, Ordering::Relaxed);
+                self.count_drop(kind);
             }
         }
     }
@@ -381,23 +459,36 @@ impl WorkerCtx {
                 self.quiescence.votes.fetch_sub(1, Ordering::SeqCst);
                 self.quiescence.rescinds.fetch_add(1, Ordering::SeqCst);
                 self.stats.votes_rescinded.fetch_add(1, Ordering::Relaxed);
+                self.local.votes_rescinded += 1;
+                let sweep = self.round;
+                self.trace(Event::VoteRescinded { sweep });
                 self.voted = false;
                 self.quiet_streak = 0;
             }
             self.quiescence.drained.fetch_add(1, Ordering::SeqCst);
             drained += 1;
+            let now = self.now();
             match msg {
                 ThreadMsg::Nss(nss) => {
                     let (from, seq) = (nss.from, nss.seq);
                     {
-                        let mut p = cell.lock();
-                        apply_new_set_stubs(&mut p.tables, &nss);
+                        let mut guard = cell.lock();
+                        let p = &mut *guard;
+                        let applied =
+                            apply_new_set_stubs_observed(&mut p.tables, &nss, now, &mut p.obs);
+                        if applied.stale {
+                            self.local.nss_stale += 1;
+                        } else {
+                            self.local.nss_applied += 1;
+                            self.local.scions_reclaimed_acyclic += applied.removed.len() as u64;
+                        }
                     }
                     if mode == DrainMode::Live {
                         // Ack even stale sequences: the receiver already
                         // holds fresher information, so the sender may
                         // stop retrying this transmission.
                         let me = self.me;
+                        self.trace(Event::NssAcked { to: from, seq });
                         self.send(from, ThreadMsg::NssAck { from: me, seq }, MsgKind::Ack);
                     }
                 }
@@ -414,27 +505,83 @@ impl WorkerCtx {
                         // is counted like any other dropped CDM so the
                         // ledgers cannot silently diverge.
                         self.stats.cdms_dropped.fetch_add(1, Ordering::Relaxed);
+                        self.local.cdms_dropped += 1;
                     } else {
-                        let mut p = cell.lock();
+                        let id = cdm.detection_id;
+                        // This processing step's hop depth (deliver
+                        // increments the wire value before expanding).
+                        let hop = cdm.hops + 1;
+                        let delivered = Event::CdmDelivered {
+                            id,
+                            via,
+                            hop,
+                            sources: cdm.source.len() as u32,
+                            targets: cdm.target.len() as u32,
+                            bytes: (8 + cdm.size_bytes()) as u32,
+                        };
+                        let mut guard = cell.lock();
+                        let p = &mut *guard;
+                        self.local.cdms_delivered += 1;
+                        p.obs.record(now, delivered);
+                        let sw = p.obs.stopwatch();
                         let outcome = acdgc_dcda::deliver(&p.summary, cdm, via, &self.cfg);
-                        self.handle_outcome(&mut p, outcome);
+                        self.handle_outcome(p, id, hop, outcome);
+                        p.obs.lap(Phase::CdmHandling, sw);
                     }
                 }
                 ThreadMsg::DeleteScion(r, inc) => {
-                    let mut p = cell.lock();
-                    delete_scion(&mut p, r, inc, &self.stats);
+                    let mut guard = cell.lock();
+                    delete_scion(&mut guard, r, inc, now, &self.stats, &mut self.local);
                 }
             }
         }
         drained
     }
 
-    /// Act on a detection outcome while holding the process lock.
-    fn handle_outcome(&mut self, p: &mut Process, outcome: Outcome) {
+    /// Act on a detection outcome while holding the process lock. Counts
+    /// into both ledgers ([`ThreadedStats`] for back-compat, the local
+    /// [`Metrics`] mirror for parity with the sequential runtime) and
+    /// records the same lifecycle events the sequential
+    /// `System::handle_outcome` does.
+    fn handle_outcome(&mut self, p: &mut Process, id: DetectionId, hop: u32, outcome: Outcome) {
+        let now = self.now();
         match outcome {
-            Outcome::Forwarded { out: list, .. } => {
+            Outcome::Forwarded {
+                out: list,
+                branches_pruned_local,
+                branches_no_new_info,
+            } => {
+                self.local.branches_pruned_local += u64::from(branches_pruned_local);
+                self.local.branches_no_new_info += u64::from(branches_no_new_info);
+                p.obs.record(
+                    now,
+                    Event::CdmForwarded {
+                        id,
+                        hop,
+                        branches: list.len() as u32,
+                        pruned_local: branches_pruned_local,
+                        pruned_no_new_info: branches_no_new_info,
+                    },
+                );
                 for ob in list {
+                    let size = 8 + ob.cdm.size_bytes();
                     self.stats.cdms_sent.fetch_add(1, Ordering::Relaxed);
+                    self.local.cdms_sent += 1;
+                    self.local.max_cdm_bytes = self.local.max_cdm_bytes.max(size as u64);
+                    p.obs.record(
+                        now,
+                        Event::CdmSent {
+                            id,
+                            to: ob.dest,
+                            via: ob.via,
+                            // Hop depth at which the receiver will process
+                            // it (the detector increments on delivery).
+                            hop: ob.cdm.hops + 1,
+                            sources: ob.cdm.source.len() as u32,
+                            targets: ob.cdm.target.len() as u32,
+                            bytes: size as u32,
+                        },
+                    );
                     self.send(
                         ob.dest,
                         ThreadMsg::Cdm {
@@ -447,24 +594,92 @@ impl WorkerCtx {
             }
             Outcome::CycleFound { delete } => {
                 self.stats.cycles_detected.fetch_add(1, Ordering::Relaxed);
+                self.local.cycles_detected += 1;
+                p.obs.record(
+                    now,
+                    Event::CycleDetected {
+                        id,
+                        hop,
+                        scions: delete.len() as u32,
+                    },
+                );
                 let me = self.me;
                 for (owner, r, inc) in delete {
                     if owner == me {
-                        delete_scion(p, r, inc, &self.stats);
+                        delete_scion(p, r, inc, now, &self.stats, &mut self.local);
                     } else {
                         self.send(owner, ThreadMsg::DeleteScion(r, inc), MsgKind::Delete);
                     }
                 }
             }
-            Outcome::DroppedNoScion
-            | Outcome::AbortedIcMismatch { .. }
-            | Outcome::DroppedHopCap
-            | Outcome::Terminated(
-                TerminateReason::NoStubs
-                | TerminateReason::AllStubsLocallyReachable
-                | TerminateReason::NoNewInformation
-                | TerminateReason::BudgetExhausted,
-            ) => {}
+            Outcome::DroppedNoScion => {
+                self.local.detections_dropped_no_scion += 1;
+                p.obs.record(
+                    now,
+                    Event::DetectionDropped {
+                        id,
+                        hop,
+                        reason: DropReason::NoScion,
+                    },
+                );
+            }
+            Outcome::AbortedIcMismatch {
+                ref_id,
+                source_ic,
+                target_ic,
+            } => {
+                self.local.detections_aborted_ic += 1;
+                p.obs.record(
+                    now,
+                    Event::DetectionAborted {
+                        id,
+                        hop,
+                        ref_id,
+                        source_ic,
+                        target_ic,
+                    },
+                );
+            }
+            Outcome::DroppedHopCap => {
+                self.local.detections_dropped_hops += 1;
+                p.obs.record(
+                    now,
+                    Event::DetectionDropped {
+                        id,
+                        hop,
+                        reason: DropReason::HopCap,
+                    },
+                );
+            }
+            Outcome::Terminated(reason) => {
+                let (field, obs_reason): (fn(&mut Metrics) -> &mut u64, _) = match reason {
+                    TerminateReason::NoStubs => (
+                        |m| &mut m.detections_terminated_no_stubs,
+                        TermReason::NoStubs,
+                    ),
+                    TerminateReason::AllStubsLocallyReachable => (
+                        |m| &mut m.detections_terminated_local,
+                        TermReason::AllStubsLocallyReachable,
+                    ),
+                    TerminateReason::NoNewInformation => (
+                        |m| &mut m.detections_terminated_no_new_info,
+                        TermReason::NoNewInformation,
+                    ),
+                    TerminateReason::BudgetExhausted => (
+                        |m| &mut m.detections_terminated_budget,
+                        TermReason::BudgetExhausted,
+                    ),
+                };
+                *field(&mut self.local) += 1;
+                p.obs.record(
+                    now,
+                    Event::DetectionTerminated {
+                        id,
+                        hop,
+                        reason: obs_reason,
+                    },
+                );
+            }
         }
     }
 
@@ -475,14 +690,20 @@ impl WorkerCtx {
     fn sweep(&mut self, cell: &Arc<Mutex<Process>>, start: Instant) -> bool {
         let mut active = false;
         let t = SimTime(start.elapsed().as_micros() as u64 + 1);
-        let mut p = cell.lock();
+        let mut guard = cell.lock();
+        let p = &mut *guard;
+        // Sweep boundary: fold the lock-free accumulations from the drain
+        // and send paths into the process while we hold the lock anyway.
+        self.flush_into(p);
 
         let targets = p.tables.scion_target_slots();
-        let result = lgc::collect(&mut p.heap, &targets);
+        let result = lgc::collect_observed(&mut p.heap, &targets, t, &mut p.obs);
         self.stats
             .objects_reclaimed
             .fetch_add(result.sweep.freed.len() as u64, Ordering::Relaxed);
         self.stats.lgc_runs.fetch_add(1, Ordering::Relaxed);
+        self.local.lgc_runs += 1;
+        self.local.objects_reclaimed += result.sweep.freed.len() as u64;
         active |= !result.sweep.freed.is_empty();
 
         let dead: Vec<RefId> = p
@@ -499,6 +720,7 @@ impl WorkerCtx {
             IntegrationMode::WeakRefMonitor => {
                 p.tables.condemn_stubs(&dead);
                 p.tables.monitor_pass();
+                self.local.monitor_passes += 1;
             }
         }
 
@@ -512,6 +734,9 @@ impl WorkerCtx {
 
         p.refresh_summary(self.cfg.summarizer, t);
         self.stats.snapshots.fetch_add(1, Ordering::Relaxed);
+        self.local.snapshots += 1;
+        self.local.summary_scions += p.summary.scions.len() as u64;
+        self.local.summary_stubs += p.summary.stubs.len() as u64;
 
         let scan = p.scan(t, &self.cfg);
         // Deferred candidates are scheduled retries: quiescence now would
@@ -529,9 +754,17 @@ impl WorkerCtx {
                 scion,
                 s.ic,
             );
+            let id = cdm.detection_id;
+            self.local.detections_started += 1;
+            p.obs.record(t, Event::DetectionStarted { id, scion });
+            let sw = p.obs.stopwatch();
             let outcome = acdgc_dcda::initiate(&p.summary, cdm, scion, &self.cfg);
-            self.handle_outcome(&mut p, outcome);
+            self.handle_outcome(p, id, 0, outcome);
+            p.obs.lap(Phase::CdmHandling, sw);
         }
+        // Fold this sweep's tail (events recorded on the send path while
+        // the lock was held) before releasing.
+        self.flush_into(p);
         active
     }
 
@@ -576,7 +809,15 @@ impl WorkerCtx {
             Action::Transmit { retry } => {
                 if retry {
                     self.stats.nss_retries.fetch_add(1, Ordering::Relaxed);
+                    self.local.nss_retries += 1;
                 }
+                self.local.nss_sent += 1;
+                self.trace(Event::NssSent {
+                    to: dest,
+                    seq: m.seq,
+                    live_refs: m.live_refs.len() as u32,
+                    retry,
+                });
                 self.send(dest, ThreadMsg::Nss(m), MsgKind::Nss);
                 true
             }
@@ -587,21 +828,47 @@ impl WorkerCtx {
 }
 
 /// Delete `r`'s scion if it still matches the witnessed incarnation and is
-/// unpinned; counts into `scions_deleted`. One implementation for the
-/// CycleFound, DeleteScion, and final-drain paths so the counter cannot
-/// diverge between them.
-fn delete_scion(p: &mut Process, r: RefId, inc: u32, stats: &ThreadedStats) -> bool {
+/// unpinned; counts into `scions_deleted` (and the worker's local
+/// `Metrics`) and records the [`Event::ScionDeleted`] forensic event. One
+/// implementation for the CycleFound, DeleteScion, and final-drain paths
+/// so the ledgers cannot diverge between them.
+fn delete_scion(
+    p: &mut Process,
+    r: RefId,
+    inc: u32,
+    now: SimTime,
+    stats: &ThreadedStats,
+    local: &mut Metrics,
+) -> bool {
     if p.tables
         .scion(r)
         .is_some_and(|s| s.pinned == 0 && s.incarnation == inc)
         && p.tables.remove_scion(r).is_some()
     {
         stats.scions_deleted.fetch_add(1, Ordering::Relaxed);
+        local.scions_deleted_by_dcda += 1;
+        p.obs.record(
+            now,
+            Event::ScionDeleted {
+                scion: r,
+                incarnation: inc,
+            },
+        );
         p.summary.scions.remove(&r);
         true
     } else {
         false
     }
+}
+
+/// Fold every process's per-process ledger into one system-wide view —
+/// the threaded counterpart of the sequential `System::metrics()`.
+pub fn merged_metrics(procs: &[Process]) -> Metrics {
+    let mut merged = Metrics::default();
+    for p in procs {
+        merged.absorb(&p.metrics);
+    }
+    merged
 }
 
 fn worker(
@@ -633,6 +900,9 @@ fn worker(
                 ctx.voted = true;
                 ctx.quiescence.votes.fetch_add(1, Ordering::SeqCst);
                 ctx.stats.votes_cast.fetch_add(1, Ordering::Relaxed);
+                ctx.local.votes_cast += 1;
+                let sweep = ctx.round;
+                ctx.trace(Event::VoteCast { sweep });
             }
         } else if ctx.quiescence.globally_quiet() {
             ctx.stats.stopped_by_quiescence.store(1, Ordering::SeqCst);
@@ -644,4 +914,7 @@ fn worker(
     // Final drain so late NSS / scion deletes buffered by peers that
     // stopped after us are applied rather than lost.
     ctx.drain(&cell, &rx, DrainMode::Final);
+    // Last flush: whatever the final drain (and a voted worker's last
+    // live drains) accumulated must land in the process ledger and ring.
+    ctx.flush_into(&mut cell.lock());
 }

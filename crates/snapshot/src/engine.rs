@@ -95,6 +95,23 @@ impl SccEngine {
         self.build_summary(heap, tables, version, taken_at)
     }
 
+    /// [`SccEngine::summarize`] bracketed by
+    /// [`acdgc_obs::Phase::SummarizeEngine`] start/end events and its
+    /// duration histogram.
+    pub fn summarize_observed(
+        &mut self,
+        heap: &Heap,
+        tables: &RemotingTables,
+        version: u64,
+        taken_at: SimTime,
+        obs: &mut acdgc_obs::ProcTrace,
+    ) -> SummarizedGraph {
+        let started = obs.begin(taken_at, acdgc_obs::Phase::SummarizeEngine);
+        let summary = self.summarize(heap, tables, version, taken_at);
+        obs.end(taken_at, acdgc_obs::Phase::SummarizeEngine, started);
+        summary
+    }
+
     /// Reset all scratch (keeping allocations) and index the stub table.
     fn prepare(&mut self, n: usize, tables: &RemotingTables) {
         self.dfs_num.clear();

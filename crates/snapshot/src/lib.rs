@@ -30,8 +30,8 @@ pub mod engine;
 pub mod incremental;
 pub mod summary;
 
-pub use capture::{capture, SnapObject, SnapshotData};
+pub use capture::{capture, capture_observed, SnapObject, SnapshotData};
 pub use codec::{CodecError, CompactCodec, SnapshotCodec, VerboseCodec};
 pub use engine::SccEngine;
 pub use incremental::{summaries_equivalent, DirtyTracker, IncrementalSummarizer};
-pub use summary::{summarize, ScionSummary, StubSummary, SummarizedGraph};
+pub use summary::{summarize, summarize_observed, ScionSummary, StubSummary, SummarizedGraph};

@@ -161,6 +161,21 @@ pub fn summarize(
     }
 }
 
+/// [`summarize`] bracketed by [`acdgc_obs::Phase::SummarizeReference`]
+/// start/end events and its duration histogram.
+pub fn summarize_observed(
+    heap: &Heap,
+    tables: &RemotingTables,
+    version: u64,
+    taken_at: SimTime,
+    obs: &mut acdgc_obs::ProcTrace,
+) -> SummarizedGraph {
+    let started = obs.begin(taken_at, acdgc_obs::Phase::SummarizeReference);
+    let summary = summarize(heap, tables, version, taken_at);
+    obs.end(taken_at, acdgc_obs::Phase::SummarizeReference, started);
+    summary
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -12,11 +12,23 @@ cargo build --release --offline --workspace
 echo "==> tests"
 cargo test -q --offline --workspace
 
-echo "==> threaded stress (release, seed matrix, hard time budget)"
+echo "==> threaded stress (release, seed matrix, traced, hard time budget)"
 # The quiescence protocol must terminate these runs on its own; the 300s
 # cap is a backstop that fails CI if a run ever degenerates into waiting
-# out per-test deadlines.
-timeout 300 cargo test -q --offline --release --test threaded_stress
+# out per-test deadlines. ACDGC_TRACE_ARTIFACT makes the tests export
+# their merged event traces as JSONL and re-parse every line (schema
+# round-trip gate); on an assertion failure the trace of the failing run
+# is dumped to the same directory, so the artifacts below are the first
+# place to look when this stage breaks.
+trace_dir="target/trace-artifacts"
+if ! ACDGC_TRACE_ARTIFACT="$trace_dir" \
+    timeout 300 cargo test -q --offline --release --test threaded_stress; then
+    echo "threaded stress FAILED — trace artifacts kept under $trace_dir:" >&2
+    ls -l "$trace_dir" >&2 || true
+    exit 1
+fi
+echo "trace artifacts kept under $trace_dir:"
+ls -l "$trace_dir"
 
 echo "==> clippy (-D warnings)"
 cargo clippy --offline --workspace --all-targets -- -D warnings

@@ -43,6 +43,7 @@
 //! | [`snapshot`] | `acdgc-snapshot` | snapshot codecs, graph summarization |
 //! | [`dcda`] | `acdgc-dcda` | **the paper's contribution**: CDM algebra + detector |
 //! | [`baselines`] | `acdgc-baselines` | Hughes timestamps, distributed back-tracing |
+//! | [`obs`] | `acdgc-obs` | event tracing, phase histograms, detection forensics |
 //! | [`sim`] | `acdgc-sim` | whole-system simulator, scenarios, oracle, threaded runtime |
 
 pub use acdgc_baselines as baselines;
@@ -50,6 +51,7 @@ pub use acdgc_dcda as dcda;
 pub use acdgc_heap as heap;
 pub use acdgc_model as model;
 pub use acdgc_net as net;
+pub use acdgc_obs as obs;
 pub use acdgc_remoting as remoting;
 pub use acdgc_sim as sim;
 pub use acdgc_snapshot as snapshot;

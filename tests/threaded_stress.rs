@@ -4,22 +4,87 @@
 //! must absorb — backpressure overflow and injected network faults — and
 //! check the quiescence protocol never votes the run finished while
 //! garbage is still uncollected.
+//!
+//! The runs execute with structured tracing enabled. On any assertion
+//! failure the merged trace is dumped as JSON Lines and the artifact path
+//! is printed, so a failing seed ships its own forensics. Setting
+//! `ACDGC_TRACE_ARTIFACT=<dir>` exports the trace even on success (and
+//! round-trips every line through the vendored JSON parser) — scripts/ci.sh
+//! uses this to gate the JSONL schema.
 
-use acdgc::model::{GcConfig, NetConfig, ProcId, SimDuration};
-use acdgc::sim::{scenarios, threaded, System};
+use acdgc::model::{GcConfig, NetConfig, ProcId, SimDuration, TraceConfig};
+use acdgc::obs::Trace;
+use acdgc::sim::{scenarios, threaded, Process, System};
+use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 /// Tight retry pacing: threaded `SimTime` ticks are wall-clock
 /// microseconds, so failed detections are re-initiated within hundreds of
-/// microseconds and the exponential backoff caps at 5ms.
+/// microseconds and the exponential backoff caps at 5ms. Tracing is on so
+/// every failure comes with a forensic artifact.
 fn stress_cfg(channel_capacity: usize) -> GcConfig {
     GcConfig {
         candidate_backoff: SimDuration::from_micros(300),
         candidate_backoff_max: SimDuration::from_millis(5),
         channel_capacity,
+        trace: TraceConfig::on(),
         ..GcConfig::manual()
     }
+}
+
+/// Dump the merged trace of `procs` under `name` and return the path.
+/// Artifacts go to `$ACDGC_TRACE_ARTIFACT` when set, else to
+/// `target/trace-artifacts/`.
+fn dump_trace(procs: &[Process], name: &str) -> PathBuf {
+    let dir = std::env::var_os("ACDGC_TRACE_ARTIFACT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target").join("trace-artifacts"));
+    let path = dir.join(format!("{name}.jsonl"));
+    let trace = Trace::collect(procs.iter().map(|p| &p.obs));
+    trace.dump_jsonl(&path).expect("write trace artifact");
+    path
+}
+
+/// Assert `cond`; on failure dump the trace first so the panic message
+/// carries the artifact path.
+macro_rules! check {
+    ($procs:expr, $name:expr, $cond:expr, $($msg:tt)+) => {
+        if !$cond {
+            let path = dump_trace(&$procs, $name);
+            panic!("{} — trace kept at {}", format!($($msg)+), path.display());
+        }
+    };
+}
+
+/// When `ACDGC_TRACE_ARTIFACT` is set, export the trace on success too and
+/// verify the JSONL schema round-trips through the JSON parser.
+fn export_and_verify_jsonl(procs: &[Process], name: &str) {
+    if std::env::var_os("ACDGC_TRACE_ARTIFACT").is_none() {
+        return;
+    }
+    let path = dump_trace(procs, name);
+    let text = std::fs::read_to_string(&path).expect("read back trace artifact");
+    let mut lines = 0usize;
+    for line in text.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).unwrap_or_else(|e| {
+            panic!("unparseable JSONL line in {}: {e}: {line}", path.display())
+        });
+        let has_type = matches!(&v, serde_json::Value::Object(m) if m.get("type").is_some());
+        assert!(
+            has_type,
+            "every trace line carries a type discriminant: {line}"
+        );
+        lines += 1;
+    }
+    assert!(
+        lines >= 2,
+        "artifact has a meta line and at least one event"
+    );
+    println!(
+        "[trace artifact verified: {} ({lines} lines)]",
+        path.display()
+    );
 }
 
 /// `rings` interlocking all-garbage cycles across `procs` processes. Each
@@ -57,27 +122,36 @@ fn capacity_one_mesh_collects_despite_overflow_and_faults() {
         7,
         Duration::from_secs(60),
     );
+    let name = "capacity_one_mesh";
     let live: usize = procs.iter().map(|p| p.heap.stats().live_objects).sum();
-    assert_eq!(
-        live,
-        0,
-        "all garbage reclaimed despite capacity-1 inboxes: cdms_dropped={} nss_dropped={}",
+    check!(
+        procs,
+        name,
+        live == 0,
+        "all garbage reclaimed despite capacity-1 inboxes: live={live} cdms_dropped={} nss_dropped={}",
         stats.cdms_dropped.load(Ordering::Relaxed),
-        stats.nss_dropped.load(Ordering::Relaxed),
+        stats.nss_dropped.load(Ordering::Relaxed)
     );
-    assert!(
+    check!(
+        procs,
+        name,
         stats.quiescent(),
         "run must end via quiescence votes, not the deadline backstop"
     );
     // The point of the stress: losses really happened and were absorbed.
-    assert!(
+    check!(
+        procs,
+        name,
         stats.nss_dropped.load(Ordering::Relaxed) > 0,
         "capacity-1 inboxes under an 8-proc NSS barrage must overflow"
     );
-    assert!(
+    check!(
+        procs,
+        name,
         stats.cdms_dropped.load(Ordering::Relaxed) > 0,
         "15% injected drop over ring-spanning CDM walks must lose some"
     );
+    export_and_verify_jsonl(&procs, name);
 }
 
 #[test]
@@ -99,22 +173,32 @@ fn quiescence_is_never_premature_across_seed_matrix() {
             seed,
             Duration::from_secs(60),
         );
+        let name = format!("seed_matrix_{seed}");
         let live: usize = procs.iter().map(|p| p.heap.stats().live_objects).sum();
-        assert!(
+        check!(
+            procs,
+            &name,
             stats.quiescent(),
             "seed {seed}: heavy loss may delay quiescence but must not prevent it"
         );
-        assert_eq!(
-            live, 0,
+        check!(
+            procs,
+            &name,
+            live == 0,
             "seed {seed}: quiescence declared with {live}/{expected} objects \
              still uncollected — the vote fired before drop-delayed work finished"
         );
-        assert!(
+        check!(
+            procs,
+            &name,
             stats.votes_cast.load(Ordering::Relaxed) >= 8,
             "seed {seed}: a quiescent stop needs every worker's vote"
         );
         total_retries += stats.nss_retries.load(Ordering::Relaxed);
         total_faults += stats.faults_injected.load(Ordering::Relaxed);
+        if seed == 11 {
+            export_and_verify_jsonl(&procs, &name);
+        }
     }
     // Across the whole matrix the fault model must actually have fired and
     // the retry machinery must actually have recovered lost NSS traffic.

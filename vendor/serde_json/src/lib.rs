@@ -1,9 +1,12 @@
 //! Offline stand-in for `serde_json` (subset).
 //!
-//! Covers what the experiments harness needs: building [`Value`] trees via
-//! the [`json!`] macro and `From` conversions, an insertion-ordered
-//! [`Map`], and [`to_string_pretty`]. There is no parser and no serde
-//! bridge — values are constructed programmatically from primitives.
+//! Covers what the experiments harness and the trace tooling need:
+//! building [`Value`] trees via the [`json!`] macro and `From`
+//! conversions, an insertion-ordered [`Map`], compact and pretty
+//! serialization ([`to_string`], [`to_string_pretty`]), and a [`Value`]
+//! parser ([`from_str`]) for round-trip checks on exported artifacts.
+//! There is no serde bridge — values are constructed programmatically
+//! from primitives.
 
 use std::fmt;
 
@@ -92,7 +95,16 @@ pub enum Value {
 macro_rules! impl_from_signed {
     ($($t:ty),*) => {$(
         impl From<$t> for Value {
-            fn from(v: $t) -> Value { Value::Number(Number::I64(v as i64)) }
+            fn from(v: $t) -> Value {
+                // Match the parser's classification: non-negative integers
+                // are always the unsigned variant.
+                let v = v as i64;
+                if v >= 0 {
+                    Value::Number(Number::U64(v as u64))
+                } else {
+                    Value::Number(Number::I64(v))
+                }
+            }
         }
     )*};
 }
@@ -154,13 +166,30 @@ impl<T: Into<Value> + Clone> From<&[T]> for Value {
     }
 }
 
-/// Serialization error (the stub never fails; kept for signature parity).
-#[derive(Debug)]
-pub struct Error;
+/// Serialization/parse error. Serialization never fails; parsing reports
+/// the byte offset and a short description.
+#[derive(Debug, Default)]
+pub struct Error {
+    msg: String,
+    offset: usize,
+}
+
+impl Error {
+    fn at(offset: usize, msg: impl Into<String>) -> Self {
+        Error {
+            msg: msg.into(),
+            offset,
+        }
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "serde_json stub error")
+        if self.msg.is_empty() {
+            write!(f, "serde_json stub error")
+        } else {
+            write!(f, "{} at byte {}", self.msg, self.offset)
+        }
     }
 }
 
@@ -235,6 +264,303 @@ pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
     let mut out = String::new();
     write_pretty(value, &mut out, 0);
     Ok(out)
+}
+
+fn write_compact(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(out, k);
+                out.push(':');
+                write_compact(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Compact single-line serialization of a [`Value`] (the JSONL form).
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(value, &mut out);
+    Ok(out)
+}
+
+/// Recursive-descent JSON parser over one complete document. Trailing
+/// whitespace is allowed; trailing garbage is an error.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::at(self.pos, format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            Err(Error::at(self.pos, format!("expected '{kw}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.expect_keyword("null", Value::Null),
+            Some(b't') => self.expect_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.expect_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(Error::at(self.pos, format!("unexpected byte 0x{b:02x}"))),
+            None => Err(Error::at(self.pos, "unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::at(self.pos, "expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(Error::at(self.pos, "expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, Error> {
+        let end = self.pos + 4;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| Error::at(self.pos, "truncated \\u escape"))?;
+        let s =
+            std::str::from_utf8(slice).map_err(|_| Error::at(self.pos, "non-ascii \\u escape"))?;
+        let v =
+            u16::from_str_radix(s, 16).map_err(|_| Error::at(self.pos, "invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::at(self.pos, "unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => {
+                            out.push('"');
+                            self.pos += 1;
+                        }
+                        Some(b'\\') => {
+                            out.push('\\');
+                            self.pos += 1;
+                        }
+                        Some(b'/') => {
+                            out.push('/');
+                            self.pos += 1;
+                        }
+                        Some(b'n') => {
+                            out.push('\n');
+                            self.pos += 1;
+                        }
+                        Some(b'r') => {
+                            out.push('\r');
+                            self.pos += 1;
+                        }
+                        Some(b't') => {
+                            out.push('\t');
+                            self.pos += 1;
+                        }
+                        Some(b'b') => {
+                            out.push('\u{0008}');
+                            self.pos += 1;
+                        }
+                        Some(b'f') => {
+                            out.push('\u{000c}');
+                            self.pos += 1;
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    let cp = 0x10000
+                                        + ((u32::from(hi) - 0xD800) << 10)
+                                        + (u32::from(lo) - 0xDC00);
+                                    char::from_u32(cp)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(u32::from(hi))
+                            };
+                            out.push(
+                                c.ok_or_else(|| Error::at(self.pos, "invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(Error::at(self.pos, "invalid escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so the byte
+                    // stream is valid UTF-8 by construction).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::at(self.pos, "invalid utf-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::U64(u)));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::I64(i)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::F64(f)))
+            .map_err(|_| Error::at(start, "invalid number"))
+    }
+}
+
+/// Parse one JSON document into a [`Value`].
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser::new(s);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::at(p.pos, "trailing characters"));
+    }
+    Ok(v)
 }
 
 /// Build a [`Value`] from JSON-ish syntax. Supports object and array
@@ -318,6 +644,47 @@ mod tests {
         assert!(s.contains("\"k\": [\n"));
         assert!(s.contains("\\\"b\""));
         assert!(s.ends_with('}'));
+    }
+
+    #[test]
+    fn compact_round_trips_through_parser() {
+        let v = json!({
+            "type": "cdm_sent",
+            "neg": -3,
+            "big": u64::MAX,
+            "f": 2.5,
+            "s": "a\"b\\c\nd\te",
+            "arr": [1, [2, 3], {}],
+            "flag": false,
+            "none": null,
+        });
+        let line = to_string(&v).unwrap();
+        assert!(!line.contains('\n'));
+        let back = from_str(&line).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parser_handles_unicode_escapes() {
+        let v = from_str(r#""\u00e9 \ud83d\ude00 \u0001""#).unwrap();
+        assert_eq!(v, Value::String("\u{e9} \u{1F600} \u{1}".to_string()));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(from_str("{\"a\": 1,}").is_err(), "trailing comma");
+        assert!(from_str("[1 2]").is_err());
+        assert!(from_str("{\"a\": 1} tail").is_err());
+        assert!(from_str("").is_err());
+        assert!(from_str("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn parser_number_classes() {
+        assert_eq!(from_str("7").unwrap(), Value::Number(Number::U64(7)));
+        assert_eq!(from_str("-7").unwrap(), Value::Number(Number::I64(-7)));
+        assert_eq!(from_str("2.5").unwrap(), Value::Number(Number::F64(2.5)));
+        assert_eq!(from_str("1e3").unwrap(), Value::Number(Number::F64(1000.0)));
     }
 
     #[test]
