@@ -1,0 +1,84 @@
+//! Structured-tracing overhead on a detection-dense micro-workload.
+//!
+//! Three variants of the same workload (a multi-process garbage ring with
+//! a detection run to completion per iteration):
+//!
+//! * `disabled` — `TraceConfig::default()`: one bool test per would-be
+//!   event, the cost every production run pays;
+//! * `enabled`  — full recording of every family;
+//! * `filtered` — recording on, but only the detections family passes the
+//!   [`TraceFilter`] (NSS / phases / quiescence suppressed before any
+//!   event is built; phase histograms still fed).
+//!
+//! `BENCH_trace_overhead.json` at the repo root records the medians; the
+//! acceptance criterion is the disabled path staying within noise of the
+//! untraced baseline in `BENCH_summarization.json`-era runs.
+
+use acdgc_model::{GcConfig, NetConfig, ProcId, SimDuration, TraceConfig, TraceFilter};
+use acdgc_sim::{scenarios, System};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+/// The detection-dense fixture: a 6-process ring of garbage cycles, LGC'd
+/// and snapshotted so detections can fire immediately.
+fn ring_system(trace: TraceConfig) -> (System, acdgc_model::RefId) {
+    let cfg = GcConfig {
+        trace,
+        ..GcConfig::manual()
+    };
+    let mut sys = System::new(6, cfg, NetConfig::instant(), 17);
+    sys.check_safety = false;
+    let ids: Vec<ProcId> = (0..6).map(ProcId).collect();
+    let ring = scenarios::ring(&mut sys, &ids, 4, false);
+    sys.advance(SimDuration::from_millis(1));
+    for p in 0..6 {
+        sys.run_lgc(ProcId(p));
+    }
+    sys.drain_network();
+    sys.snapshot_all();
+    (sys, ring.refs[0])
+}
+
+fn detections_only() -> TraceConfig {
+    TraceConfig {
+        enabled: true,
+        filter: TraceFilter {
+            detections: true,
+            nss: false,
+            phases: false,
+            quiescence: false,
+        },
+        ..TraceConfig::default()
+    }
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(40);
+    let variants: [(&str, TraceConfig); 3] = [
+        ("disabled", TraceConfig::default()),
+        ("enabled", TraceConfig::on()),
+        ("filtered", detections_only()),
+    ];
+    for (name, trace) in variants {
+        group.bench_with_input(BenchmarkId::new("ring_detection", name), &(), |b, _| {
+            // Detections consume their cycle, so each iteration gets a
+            // fresh prepared system; criterion times only the detection
+            // walk, where every hop records CDM events when tracing
+            // allows it.
+            b.iter_batched(
+                || ring_system(trace),
+                |(mut sys, scion)| {
+                    sys.initiate_detection(ProcId(0), scion);
+                    sys.drain_network();
+                    assert!(sys.metrics.cycles_detected >= 1);
+                    sys
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

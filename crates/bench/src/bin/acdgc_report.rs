@@ -1,0 +1,268 @@
+//! `acdgc-report` — offline analysis of exported trace artifacts.
+//!
+//! Ingests the JSON Lines artifacts the test suite and CI write (see
+//! `tests/threaded_stress.rs` and `ACDGC_TRACE_ARTIFACT`), reconstructs
+//! every detection, and prints:
+//!
+//! * a per-phase latency table (count / mean / p50 / p99 / max);
+//! * the top-k slowest detections with their rendered cross-process CDM
+//!   paths;
+//! * the message-balance and hop-monotonicity verdicts of
+//!   `Trace::check`;
+//! * a watchdog/health summary from any `health_report` lines.
+//!
+//! Usage:
+//!
+//! ```text
+//! acdgc-report [--check] [--top N] [PATH ...]
+//! ```
+//!
+//! `PATH` entries may be `.jsonl` files or directories (scanned for
+//! `*.jsonl`); the default is `target/trace-artifacts`. With `--check`
+//! the exit code is non-zero when any artifact has a ledger or
+//! hop-monotonicity violation (CI gates on this; see scripts/ci.sh).
+//! Artifacts whose ring overflowed (`overwritten > 0`) are suffix traces:
+//! they are reported but exempt from checking.
+
+use acdgc_obs::{HealthReport, Phase, Trace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    check: bool,
+    top: usize,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        check: false,
+        top: 3,
+        paths: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => opts.check = true,
+            "--top" => {
+                let n = args.next().ok_or("--top needs a number")?;
+                opts.top = n.parse().map_err(|_| format!("bad --top value {n:?}"))?;
+            }
+            "--help" | "-h" => {
+                println!("usage: acdgc-report [--check] [--top N] [PATH ...]");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
+            path => opts.paths.push(PathBuf::from(path)),
+        }
+    }
+    if opts.paths.is_empty() {
+        opts.paths.push(PathBuf::from("target/trace-artifacts"));
+    }
+    Ok(opts)
+}
+
+/// Expand files/directories into the list of `.jsonl` artifacts.
+fn artifacts(paths: &[PathBuf]) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    for p in paths {
+        if p.is_dir() {
+            let entries =
+                std::fs::read_dir(p).map_err(|e| format!("read dir {}: {e}", p.display()))?;
+            for entry in entries {
+                let path = entry.map_err(|e| e.to_string())?.path();
+                if path.extension().is_some_and(|e| e == "jsonl") {
+                    out.push(path);
+                }
+            }
+        } else if p.is_file() {
+            out.push(p.clone());
+        } else {
+            return Err(format!("no such file or directory: {}", p.display()));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn human_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+/// Wall-clock span of one detection: first to last surviving event.
+fn detection_span_us(path: &acdgc_obs::DetectionPath) -> u64 {
+    let first = path.events.first().map(|r| r.at.0).unwrap_or(0);
+    let last = path.events.last().map(|r| r.at.0).unwrap_or(0);
+    last.saturating_sub(first)
+}
+
+fn report_phases(trace: &Trace) {
+    let merged = trace.merged_phases();
+    if merged.total_count() == 0 {
+        println!("  phases: no timing samples in this artifact");
+        return;
+    }
+    println!(
+        "  {:<16} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "phase", "count", "mean", "p50", "p99", "max"
+    );
+    for phase in Phase::ALL {
+        let h = merged.get(phase);
+        if h.count() == 0 {
+            continue;
+        }
+        println!(
+            "  {:<16} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            phase.name(),
+            h.count(),
+            human_ns(h.mean_nanos()),
+            human_ns(h.quantile_upper_nanos(0.5)),
+            human_ns(h.quantile_upper_nanos(0.99)),
+            human_ns(h.max_nanos()),
+        );
+    }
+}
+
+fn report_detections(trace: &Trace, top: usize) {
+    let ids = trace.detection_ids();
+    let cycles = trace.detected_cycles();
+    println!(
+        "  detections: {} reconstructed, {} found a cycle",
+        ids.len(),
+        cycles.len()
+    );
+    if ids.is_empty() || top == 0 {
+        return;
+    }
+    let mut spans: Vec<(u64, acdgc_obs::DetectionPath)> = ids
+        .into_iter()
+        .map(|id| {
+            let path = trace.detection(id);
+            (detection_span_us(&path), path)
+        })
+        .collect();
+    spans.sort_by_key(|s| std::cmp::Reverse(s.0));
+    println!("  slowest {}:", spans.len().min(top));
+    for (span, path) in spans.iter().take(top) {
+        println!("    {:>9} {}", format!("{}µs", span), path.render());
+    }
+}
+
+fn report_health(health: &[HealthReport]) {
+    if health.is_empty() {
+        println!("  health: no watchdog reports in this artifact");
+        return;
+    }
+    let stalls = health
+        .iter()
+        .filter(|r| r.reason == acdgc_obs::HealthReason::Stall)
+        .count();
+    println!(
+        "  health: {} report(s), {} stall(s); last: {}",
+        health.len(),
+        stalls,
+        health.last().map(|r| r.reason.name()).unwrap_or("-"),
+    );
+    for r in health {
+        if !r.stalled().is_empty() {
+            for line in r.render().lines() {
+                println!("    {line}");
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("acdgc-report: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let files = match artifacts(&opts.paths) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("acdgc-report: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if files.is_empty() {
+        eprintln!(
+            "acdgc-report: no .jsonl artifacts under {:?}",
+            opts.paths
+                .iter()
+                .map(|p| p.display().to_string())
+                .collect::<Vec<_>>()
+        );
+        // In --check mode an empty artifact set is a failure: CI expects
+        // the stress stage to have produced traces to gate on.
+        return if opts.check {
+            ExitCode::from(2)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    let mut violations = 0usize;
+    for file in &files {
+        println!("== {}", file.display());
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("acdgc-report: read {}: {e}", file.display());
+                violations += 1;
+                continue;
+            }
+        };
+        let (trace, health) = match Trace::from_jsonl(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("acdgc-report: parse {}: {e}", file.display());
+                violations += 1;
+                continue;
+            }
+        };
+        println!(
+            "  events: {} ({} lost to ring overwrite)",
+            trace.events.len(),
+            trace.overwritten
+        );
+        report_phases(&trace);
+        report_detections(&trace, opts.top);
+        report_health(&health);
+
+        let check = trace.check();
+        if check.skipped_overwritten {
+            println!("  check: SKIPPED (suffix trace: ring overwrote events)");
+            continue;
+        }
+        if check.ok() {
+            println!(
+                "  check: OK ({} detections balanced, hops monotonic)",
+                check.detections
+            );
+        } else {
+            println!(
+                "  check: FAILED ({} hop violations, {} balance violations)",
+                check.hop_violations.len(),
+                check.balance_violations.len()
+            );
+            for v in check.violations() {
+                println!("    VIOLATION: {v}");
+            }
+            violations += check.hop_violations.len() + check.balance_violations.len();
+        }
+    }
+
+    if opts.check && violations > 0 {
+        eprintln!("acdgc-report: --check failed with {violations} violation(s)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -4,14 +4,16 @@
 //!
 //! Usage: `cargo run --release -p acdgc-bench --bin experiments [ids...]`
 //! with ids from {t1, s1, f1, f2, f3, f4, f5, a1, a2, a3, a4, a5, a6,
-//! sc1, pp1}; no ids runs everything. A JSON digest is written to
+//! sc1, pp1, ob1}; no ids runs everything. A JSON digest is written to
 //! `target/experiments.json`.
 
 use acdgc_baselines::{Backtracer, HughesCollector};
 use acdgc_bench::{
     prepared_fig4, prepared_ring, run_detection, run_table1_workload, serialization_heap,
 };
-use acdgc_model::{GcConfig, IntegrationMode, NetConfig, ProcId, SimDuration, SimTime};
+use acdgc_model::{
+    GcConfig, IntegrationMode, NetConfig, ProcId, SimDuration, SimTime, TraceConfig, TraceFilter,
+};
 use acdgc_sim::{scenarios, InvokeSpec, System};
 use acdgc_snapshot::{capture, CompactCodec, SnapshotCodec, VerboseCodec};
 use serde_json::{json, Value};
@@ -21,6 +23,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = [
         "t1", "s1", "f1", "f2", "f3", "f4", "f5", "a1", "a2", "a3", "a4", "a5", "a6", "sc1", "pp1",
+        "ob1",
     ];
     let selected: Vec<String> = if args.is_empty() {
         all.iter().map(|s| s.to_string()).collect()
@@ -45,6 +48,7 @@ fn main() {
             "a6" => a6(),
             "sc1" => sc1(),
             "pp1" => pp1(),
+            "ob1" => ob1(),
             other => {
                 eprintln!("unknown experiment id {other:?}");
                 continue;
@@ -736,4 +740,103 @@ fn pp1() -> Value {
     let idle = sys.metrics_for(ProcId(5)).cdms_delivered;
     println!("(P0 is on all 5 rings, P5 on 1: deliveries {busy} vs {idle})");
     json!({ "rows": rows, "p0_cdms_delivered": busy, "p5_cdms_delivered": idle })
+}
+
+// -------------------------------------------------------------------------
+// OB1 — detections-only tracing via TraceFilter.
+// -------------------------------------------------------------------------
+fn ob1() -> Value {
+    header(
+        "OB1",
+        "trace filtering — detections-only run vs full recording",
+    );
+    // The same all-garbage workload recorded twice: once with every event
+    // family on, once with only the CDM-lifecycle family passing the
+    // filter. The filtered run keeps complete detection forensics (paths
+    // still reconstruct and balance) at a fraction of the event volume —
+    // and the phase histograms still fill, because durations are recorded
+    // beside the ring, not through it.
+    let run = |filter: TraceFilter| -> (System, Value) {
+        let mut sys = System::new(
+            5,
+            GcConfig {
+                trace: TraceConfig {
+                    enabled: true,
+                    filter,
+                    ..TraceConfig::default()
+                },
+                ..GcConfig::manual()
+            },
+            NetConfig::instant(),
+            29,
+        );
+        for span in [3u16, 4, 5] {
+            let ids: Vec<ProcId> = (0..span).map(ProcId).collect();
+            scenarios::ring(&mut sys, &ids, 2, false);
+        }
+        sys.collect_to_fixpoint(20);
+        assert_eq!(sys.total_live_objects(), 0);
+        let trace = sys.trace();
+        let mut families = serde_json::Map::new();
+        for r in &trace.events {
+            let kind = r.event.kind().to_string();
+            let n = match families.get(&kind) {
+                Some(Value::Number(serde_json::Number::U64(n))) => *n,
+                _ => 0,
+            };
+            families.insert(kind, json!(n + 1));
+        }
+        let stats = json!({
+            "events": trace.events.len(),
+            "detections": trace.detection_ids().len(),
+            "cycles": trace.detected_cycles().len(),
+            "phase_samples": trace.merged_phases().total_count(),
+            "families": Value::Object(families),
+        });
+        (sys, stats)
+    };
+
+    let (_, full) = run(TraceFilter::default());
+    let (sys, filtered) = run(TraceFilter {
+        detections: true,
+        nss: false,
+        phases: false,
+        quiescence: false,
+    });
+    let get = |v: &Value, k: &str| -> u64 {
+        match v {
+            Value::Object(m) => match m.get(k) {
+                Some(Value::Number(serde_json::Number::U64(n))) => *n,
+                _ => 0,
+            },
+            _ => 0,
+        }
+    };
+    println!(
+        "{:>12} {:>9} {:>12} {:>8} {:>14}",
+        "recording", "events", "detections", "cycles", "phase_samples"
+    );
+    for (name, v) in [("full", &full), ("filtered", &filtered)] {
+        println!(
+            "{:>12} {:>9} {:>12} {:>8} {:>14}",
+            name,
+            get(v, "events"),
+            get(v, "detections"),
+            get(v, "cycles"),
+            get(v, "phase_samples"),
+        );
+    }
+    assert!(
+        get(&filtered, "events") < get(&full, "events"),
+        "the filter must actually reduce event volume"
+    );
+    assert!(
+        get(&filtered, "phase_samples") > 0,
+        "histograms must keep filling under a detections-only filter"
+    );
+    println!(
+        "(filtered run still renders full CDM paths; {} Prometheus chars)",
+        sys.to_prometheus().len()
+    );
+    json!({ "full": full, "filtered": filtered })
 }

@@ -95,6 +95,42 @@ impl TraceConfig {
     }
 }
 
+/// Threaded-runtime watchdog knobs (see the `acdgc-obs` crate's `health`
+/// module). The threaded runtime's `SimTime` ticks are wall-clock
+/// microseconds, so both durations here are wall time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WatchdogConfig {
+    /// Whether the monitor thread runs at all. Disabled, workers still
+    /// publish heartbeats (a handful of relaxed atomic stores per sweep)
+    /// but nobody reads them and no reports are built.
+    pub enabled: bool,
+    /// A worker whose last heartbeat is older than this is reported as
+    /// stalled. The threshold is measured against *any* heartbeat — every
+    /// worker beats at least once per loop iteration even while voted — so
+    /// a healthy idle worker never trips it; only a worker stuck inside a
+    /// sweep, a drain, or a hook does.
+    pub stall_after: SimDuration,
+    /// Monitor poll cadence. Stall detection latency is `stall_after` +
+    /// at most one poll.
+    pub poll_every: SimDuration,
+    /// Cap on stall `HealthReport`s emitted per run; each report covers
+    /// every worker, so a handful is plenty and a livelocked run cannot
+    /// flood memory. The terminal (quiescence/deadline) report is always
+    /// emitted and does not count against this.
+    pub max_stall_reports: usize,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            enabled: true,
+            stall_after: SimDuration::from_millis(400),
+            poll_every: SimDuration::from_millis(25),
+            max_stall_reports: 8,
+        }
+    }
+}
+
 /// Collector tuning knobs. Defaults model the paper's lazy, low-disruption
 /// regime; ablation experiments flip the named switches.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -199,6 +235,8 @@ pub struct GcConfig {
     pub nss_retry_sweeps: u32,
     /// Structured event tracing (`acdgc-obs`); off by default.
     pub trace: TraceConfig,
+    /// Threaded-runtime watchdog: stall detection + health reports.
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for GcConfig {
@@ -227,6 +265,7 @@ impl Default for GcConfig {
             quiet_sweeps: 16,
             nss_retry_sweeps: 8,
             trace: TraceConfig::default(),
+            watchdog: WatchdogConfig::default(),
         }
     }
 }

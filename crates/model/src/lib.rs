@@ -24,7 +24,9 @@ pub mod rng;
 pub mod time;
 
 pub use bitset::BitSet;
-pub use config::{GcConfig, IntegrationMode, NetConfig, SummarizerKind, TraceConfig, TraceFilter};
+pub use config::{
+    GcConfig, IntegrationMode, NetConfig, SummarizerKind, TraceConfig, TraceFilter, WatchdogConfig,
+};
 pub use error::ModelError;
 pub use ids::{DetectionId, IdAllocator, ObjId, ProcId, RefId, Slot};
 pub use time::{SimDuration, SimTime};

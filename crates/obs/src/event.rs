@@ -3,7 +3,39 @@
 //! reference-listing layer, the phase clocks, and the quiescence protocol.
 
 use acdgc_model::{DetectionId, ProcId, RefId, SimTime, TraceFilter};
-use serde_json::{json, Value};
+use serde_json::{json, Map, Number, Value};
+
+/// Pull a `u64` field out of a JSON object (the vendored `serde_json`
+/// exposes no `as_u64`, so the extraction pattern lives here once).
+pub(crate) fn field_u64(m: &Map, key: &str) -> Option<u64> {
+    match m.get(key)? {
+        Value::Number(Number::U64(v)) => Some(*v),
+        Value::Number(Number::I64(v)) if *v >= 0 => Some(*v as u64),
+        _ => None,
+    }
+}
+
+pub(crate) fn field_u32(m: &Map, key: &str) -> Option<u32> {
+    field_u64(m, key).and_then(|v| u32::try_from(v).ok())
+}
+
+pub(crate) fn field_u16(m: &Map, key: &str) -> Option<u16> {
+    field_u64(m, key).and_then(|v| u16::try_from(v).ok())
+}
+
+pub(crate) fn field_bool(m: &Map, key: &str) -> Option<bool> {
+    match m.get(key)? {
+        Value::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+pub(crate) fn field_str<'a>(m: &'a Map, key: &str) -> Option<&'a str> {
+    match m.get(key)? {
+        Value::String(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
 
 /// A timed collector phase. Phases are bracketed by
 /// [`Event::PhaseStarted`] / [`Event::PhaseEnded`] pairs and feed the
@@ -58,6 +90,11 @@ impl Phase {
             Phase::CdmHandling => "cdm_handling",
         }
     }
+
+    /// Inverse of [`Phase::name`], for parsing exported traces.
+    pub fn from_name(name: &str) -> Option<Phase> {
+        Phase::ALL.into_iter().find(|p| p.name() == name)
+    }
 }
 
 /// Why a detection was dropped without a verdict.
@@ -75,6 +112,12 @@ impl DropReason {
             DropReason::NoScion => "no_scion",
             DropReason::HopCap => "hop_cap",
         }
+    }
+
+    pub fn from_name(name: &str) -> Option<DropReason> {
+        [DropReason::NoScion, DropReason::HopCap]
+            .into_iter()
+            .find(|r| r.name() == name)
     }
 }
 
@@ -95,6 +138,17 @@ impl TermReason {
             TermReason::NoNewInformation => "no_new_information",
             TermReason::BudgetExhausted => "budget_exhausted",
         }
+    }
+
+    pub fn from_name(name: &str) -> Option<TermReason> {
+        [
+            TermReason::NoStubs,
+            TermReason::AllStubsLocallyReachable,
+            TermReason::NoNewInformation,
+            TermReason::BudgetExhausted,
+        ]
+        .into_iter()
+        .find(|r| r.name() == name)
     }
 }
 
@@ -269,53 +323,11 @@ impl Event {
         }
     }
 
-    /// Whether `filter` admits this event.
-    pub fn passes(&self, filter: &TraceFilter) -> bool {
+    /// Insert this event's payload fields into a JSON object that already
+    /// carries the `type` discriminant — the shared half of
+    /// [`Recorded::to_json`] and the health-report pending-tail export.
+    pub fn payload_into(&self, obj: &mut Map) {
         match self {
-            Event::DetectionStarted { .. }
-            | Event::CdmSent { .. }
-            | Event::CdmDelivered { .. }
-            | Event::CdmForwarded { .. }
-            | Event::CycleDetected { .. }
-            | Event::DetectionAborted { .. }
-            | Event::DetectionDropped { .. }
-            | Event::DetectionTerminated { .. }
-            | Event::ScionDeleted { .. }
-            | Event::CandidatesScanned { .. } => filter.detections,
-            Event::NssSent { .. } | Event::NssApplied { .. } | Event::NssAcked { .. } => filter.nss,
-            Event::PhaseStarted { .. } | Event::PhaseEnded { .. } => filter.phases,
-            Event::VoteCast { .. } | Event::VoteRescinded { .. } => filter.quiescence,
-        }
-    }
-}
-
-/// An [`Event`] as it sits in a ring buffer: stamped with a globally
-/// unique, totally ordered sequence number (one shared atomic across all
-/// processes of a run), the recording process, and the recording
-/// process's clock.
-#[derive(Clone, Debug, PartialEq)]
-pub struct Recorded {
-    pub seq: u64,
-    pub at: SimTime,
-    pub proc: ProcId,
-    pub event: Event,
-}
-
-impl Recorded {
-    /// One flat JSON object per event — the JSONL schema (documented in
-    /// DESIGN.md §Observability).
-    pub fn to_json(&self) -> Value {
-        let mut v = json!({
-            "seq": self.seq,
-            "at_us": self.at.0,
-            "proc": self.proc.0,
-            "type": self.event.kind(),
-        });
-        let obj = match &mut v {
-            Value::Object(m) => m,
-            _ => unreachable!(),
-        };
-        match &self.event {
             Event::DetectionStarted { id, scion } => {
                 obj.insert("id".into(), json!(id.0));
                 obj.insert("scion".into(), json!(scion.0));
@@ -441,7 +453,169 @@ impl Recorded {
                 obj.insert("sweep".into(), json!(*sweep));
             }
         }
+    }
+
+    /// Inverse of the payload half of [`Recorded::to_json`]: rebuild an
+    /// event from its `type` discriminant and the flat JSON object it was
+    /// exported as. `None` on unknown kinds or missing/mistyped fields.
+    pub fn from_json(kind: &str, m: &Map) -> Option<Event> {
+        let id = || field_u64(m, "id").map(DetectionId);
+        Some(match kind {
+            "detection_started" => Event::DetectionStarted {
+                id: id()?,
+                scion: RefId(field_u64(m, "scion")?),
+            },
+            "cdm_sent" => Event::CdmSent {
+                id: id()?,
+                to: ProcId(field_u16(m, "to")?),
+                via: RefId(field_u64(m, "via")?),
+                hop: field_u32(m, "hop")?,
+                sources: field_u32(m, "sources")?,
+                targets: field_u32(m, "targets")?,
+                bytes: field_u32(m, "bytes")?,
+            },
+            "cdm_delivered" => Event::CdmDelivered {
+                id: id()?,
+                via: RefId(field_u64(m, "via")?),
+                hop: field_u32(m, "hop")?,
+                sources: field_u32(m, "sources")?,
+                targets: field_u32(m, "targets")?,
+                bytes: field_u32(m, "bytes")?,
+            },
+            "cdm_forwarded" => Event::CdmForwarded {
+                id: id()?,
+                hop: field_u32(m, "hop")?,
+                branches: field_u32(m, "branches")?,
+                pruned_local: field_u32(m, "pruned_local")?,
+                pruned_no_new_info: field_u32(m, "pruned_no_new_info")?,
+            },
+            "cycle_detected" => Event::CycleDetected {
+                id: id()?,
+                hop: field_u32(m, "hop")?,
+                scions: field_u32(m, "scions")?,
+            },
+            "detection_aborted" => Event::DetectionAborted {
+                id: id()?,
+                hop: field_u32(m, "hop")?,
+                ref_id: RefId(field_u64(m, "ref")?),
+                source_ic: field_u64(m, "source_ic")?,
+                target_ic: field_u64(m, "target_ic")?,
+            },
+            "detection_dropped" => Event::DetectionDropped {
+                id: id()?,
+                hop: field_u32(m, "hop")?,
+                reason: DropReason::from_name(field_str(m, "reason")?)?,
+            },
+            "detection_terminated" => Event::DetectionTerminated {
+                id: id()?,
+                hop: field_u32(m, "hop")?,
+                reason: TermReason::from_name(field_str(m, "reason")?)?,
+            },
+            "scion_deleted" => Event::ScionDeleted {
+                scion: RefId(field_u64(m, "scion")?),
+                incarnation: field_u32(m, "incarnation")?,
+            },
+            "nss_sent" => Event::NssSent {
+                to: ProcId(field_u16(m, "to")?),
+                seq: field_u64(m, "nss_seq")?,
+                live_refs: field_u32(m, "live_refs")?,
+                retry: field_bool(m, "retry")?,
+            },
+            "nss_applied" => Event::NssApplied {
+                from: ProcId(field_u16(m, "from")?),
+                seq: field_u64(m, "nss_seq")?,
+                removed: field_u32(m, "removed")?,
+                stale: field_bool(m, "stale")?,
+            },
+            "nss_acked" => Event::NssAcked {
+                to: ProcId(field_u16(m, "to")?),
+                seq: field_u64(m, "nss_seq")?,
+            },
+            "candidates_scanned" => Event::CandidatesScanned {
+                picked: field_u32(m, "picked")?,
+                deferred: field_u32(m, "deferred")?,
+            },
+            "phase_started" => Event::PhaseStarted {
+                phase: Phase::from_name(field_str(m, "phase")?)?,
+            },
+            "phase_ended" => Event::PhaseEnded {
+                phase: Phase::from_name(field_str(m, "phase")?)?,
+                nanos: field_u64(m, "nanos")?,
+            },
+            "vote_cast" => Event::VoteCast {
+                sweep: field_u64(m, "sweep")?,
+            },
+            "vote_rescinded" => Event::VoteRescinded {
+                sweep: field_u64(m, "sweep")?,
+            },
+            _ => return None,
+        })
+    }
+
+    /// Whether `filter` admits this event.
+    pub fn passes(&self, filter: &TraceFilter) -> bool {
+        match self {
+            Event::DetectionStarted { .. }
+            | Event::CdmSent { .. }
+            | Event::CdmDelivered { .. }
+            | Event::CdmForwarded { .. }
+            | Event::CycleDetected { .. }
+            | Event::DetectionAborted { .. }
+            | Event::DetectionDropped { .. }
+            | Event::DetectionTerminated { .. }
+            | Event::ScionDeleted { .. }
+            | Event::CandidatesScanned { .. } => filter.detections,
+            Event::NssSent { .. } | Event::NssApplied { .. } | Event::NssAcked { .. } => filter.nss,
+            Event::PhaseStarted { .. } | Event::PhaseEnded { .. } => filter.phases,
+            Event::VoteCast { .. } | Event::VoteRescinded { .. } => filter.quiescence,
+        }
+    }
+}
+
+/// An [`Event`] as it sits in a ring buffer: stamped with a globally
+/// unique, totally ordered sequence number (one shared atomic across all
+/// processes of a run), the recording process, and the recording
+/// process's clock.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Recorded {
+    pub seq: u64,
+    pub at: SimTime,
+    pub proc: ProcId,
+    pub event: Event,
+}
+
+impl Recorded {
+    /// One flat JSON object per event — the JSONL schema (documented in
+    /// DESIGN.md §Observability).
+    pub fn to_json(&self) -> Value {
+        let mut v = json!({
+            "seq": self.seq,
+            "at_us": self.at.0,
+            "proc": self.proc.0,
+            "type": self.event.kind(),
+        });
+        let obj = match &mut v {
+            Value::Object(m) => m,
+            _ => unreachable!(),
+        };
+        self.event.payload_into(obj);
         v
+    }
+
+    /// Inverse of [`Recorded::to_json`], for re-ingesting JSONL exports
+    /// (`acdgc-report`). `None` when the object is not an event line.
+    pub fn from_json(v: &Value) -> Option<Recorded> {
+        let m = match v {
+            Value::Object(m) => m,
+            _ => return None,
+        };
+        let kind = field_str(m, "type")?;
+        Some(Recorded {
+            seq: field_u64(m, "seq")?,
+            at: SimTime(field_u64(m, "at_us")?),
+            proc: ProcId(field_u16(m, "proc")?),
+            event: Event::from_json(kind, m)?,
+        })
     }
 }
 
@@ -521,5 +695,121 @@ mod tests {
         assert!(line.contains("\"type\":\"cdm_sent\""), "{line}");
         assert!(line.contains("\"seq\":17"), "{line}");
         assert!(line.contains("\"hop\":2"), "{line}");
+    }
+
+    /// Every variant must survive a JSON round trip exactly — the report
+    /// CLI rebuilds detections from the exported lines.
+    #[test]
+    fn every_variant_round_trips_through_json() {
+        let id = DetectionId(7);
+        let events = vec![
+            Event::DetectionStarted {
+                id,
+                scion: RefId(3),
+            },
+            Event::CdmSent {
+                id,
+                to: ProcId(4),
+                via: RefId(19),
+                hop: 2,
+                sources: 3,
+                targets: 2,
+                bytes: 120,
+            },
+            Event::CdmDelivered {
+                id,
+                via: RefId(19),
+                hop: 2,
+                sources: 3,
+                targets: 2,
+                bytes: 120,
+            },
+            Event::CdmForwarded {
+                id,
+                hop: 2,
+                branches: 2,
+                pruned_local: 1,
+                pruned_no_new_info: 0,
+            },
+            Event::CycleDetected {
+                id,
+                hop: 5,
+                scions: 4,
+            },
+            Event::DetectionAborted {
+                id,
+                hop: 1,
+                ref_id: RefId(2),
+                source_ic: 10,
+                target_ic: 11,
+            },
+            Event::DetectionDropped {
+                id,
+                hop: 9,
+                reason: DropReason::HopCap,
+            },
+            Event::DetectionTerminated {
+                id,
+                hop: 3,
+                reason: TermReason::NoNewInformation,
+            },
+            Event::ScionDeleted {
+                scion: RefId(3),
+                incarnation: 2,
+            },
+            Event::NssSent {
+                to: ProcId(1),
+                seq: 5,
+                live_refs: 7,
+                retry: true,
+            },
+            Event::NssApplied {
+                from: ProcId(2),
+                seq: 5,
+                removed: 1,
+                stale: false,
+            },
+            Event::NssAcked {
+                to: ProcId(2),
+                seq: 5,
+            },
+            Event::CandidatesScanned {
+                picked: 2,
+                deferred: 1,
+            },
+            Event::PhaseStarted { phase: Phase::Lgc },
+            Event::PhaseEnded {
+                phase: Phase::CdmHandling,
+                nanos: 12345,
+            },
+            Event::VoteCast { sweep: 9 },
+            Event::VoteRescinded { sweep: 10 },
+        ];
+        for (i, event) in events.into_iter().enumerate() {
+            let rec = Recorded {
+                seq: i as u64,
+                at: SimTime(100 + i as u64),
+                proc: ProcId(3),
+                event,
+            };
+            let line = serde_json::to_string(&rec.to_json()).unwrap();
+            let parsed = serde_json::from_str(&line).unwrap();
+            let back = Recorded::from_json(&parsed)
+                .unwrap_or_else(|| panic!("variant failed to parse back: {line}"));
+            assert_eq!(back, rec, "{line}");
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_lines() {
+        for bad in [
+            r#"{"type":"trace_meta","events":3,"overwritten":0}"#,
+            r#"{"type":"vote_cast","seq":1,"at_us":2,"proc":0}"#, // missing sweep
+            r#"{"type":"cdm_sent","seq":1,"at_us":2,"proc":0,"id":1}"#, // missing wire fields
+            r#"[1,2,3]"#,
+        ] {
+            let v = serde_json::from_str(bad).unwrap();
+            assert!(Recorded::from_json(&v).is_none(), "{bad}");
+        }
     }
 }

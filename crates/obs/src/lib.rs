@@ -16,16 +16,24 @@
 //!   process and merged;
 //! * [`Trace`] — the collected view: [`Trace::detection`] reconstructs
 //!   one detection's ordered cross-process CDM path ([`DetectionPath`]),
-//!   [`Trace::to_jsonl`] exports everything for post-mortems.
+//!   [`Trace::to_jsonl`] exports everything for post-mortems and
+//!   [`Trace::from_jsonl`] re-ingests an export (the `acdgc-report` CLI);
+//! * runtime health ([`health`]): per-worker [`Heartbeats`] slots, stall
+//!   detection, and [`HealthReport`] snapshots of the pending event tails
+//!   a hung worker would otherwise keep invisible.
 //!
 //! The crate sits below `heap`/`remoting`/`snapshot`/`sim` so every layer
 //! can report events without dependency cycles; runtimes own the sinks
 //! (one per process) and decide when to collect.
 
 pub mod event;
+pub mod health;
 pub mod hist;
 pub mod trace;
 
 pub use event::{DropReason, Event, Phase, Recorded, TermReason};
+pub use health::{
+    HealthReason, HealthReport, Heartbeat, HeartbeatSlot, Heartbeats, WorkerHealth, WorkerStage,
+};
 pub use hist::{Histogram, PhaseHistograms};
-pub use trace::{DetectionPath, PathBalance, ProcTrace, Trace};
+pub use trace::{DetectionPath, PathBalance, ProcTrace, Trace, TraceCheck};

@@ -1,10 +1,11 @@
 //! Per-process ring buffers ([`ProcTrace`]), the collected cross-process
 //! view ([`Trace`]), and detection forensics ([`DetectionPath`]).
 
-use crate::event::{Event, Phase, Recorded};
+use crate::event::{field_str, field_u16, field_u64, Event, Phase, Recorded};
+use crate::health::HealthReport;
 use crate::hist::PhaseHistograms;
 use acdgc_model::{DetectionId, ProcId, SimTime, TraceConfig, TraceFilter};
-use serde_json::json;
+use serde_json::{json, Value};
 use std::io::{self, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -296,6 +297,136 @@ impl Trace {
         }
         let mut f = std::fs::File::create(path)?;
         self.to_jsonl(&mut f)
+    }
+
+    /// Inverse of [`Trace::to_jsonl`]: re-ingest an exported artifact.
+    /// Also returns any `health_report` lines appended after the export
+    /// (the threaded runtime's watchdog writes them there). Unknown line
+    /// types are an error — a half-understood artifact must not silently
+    /// pass checks.
+    pub fn from_jsonl(text: &str) -> Result<(Trace, Vec<HealthReport>), String> {
+        let mut trace = Trace::default();
+        let mut health = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let lineno = i + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v: Value = serde_json::from_str(line).map_err(|e| format!("line {lineno}: {e}"))?;
+            let m = match &v {
+                Value::Object(m) => m,
+                _ => return Err(format!("line {lineno}: not a JSON object")),
+            };
+            let kind =
+                field_str(m, "type").ok_or_else(|| format!("line {lineno}: no type field"))?;
+            match kind {
+                "trace_meta" => {
+                    trace.overwritten = field_u64(m, "overwritten")
+                        .ok_or_else(|| format!("line {lineno}: trace_meta without overwritten"))?;
+                }
+                "phase_histograms" => {
+                    let proc =
+                        ProcId(field_u16(m, "proc").ok_or_else(|| {
+                            format!("line {lineno}: phase_histograms without proc")
+                        })?);
+                    let phases = m
+                        .get("phases")
+                        .and_then(PhaseHistograms::from_json)
+                        .ok_or_else(|| format!("line {lineno}: bad phase_histograms payload"))?;
+                    trace.phases.push((proc, phases));
+                }
+                "health_report" => {
+                    health.push(
+                        HealthReport::from_json(&v)
+                            .ok_or_else(|| format!("line {lineno}: bad health_report payload"))?,
+                    );
+                }
+                _ => {
+                    trace.events.push(
+                        Recorded::from_json(&v)
+                            .ok_or_else(|| format!("line {lineno}: bad {kind} event payload"))?,
+                    );
+                }
+            }
+        }
+        trace.events.sort_by_key(|r| r.seq);
+        Ok((trace, health))
+    }
+
+    /// Run every machine-checkable invariant over every reconstructed
+    /// detection. The checks are chosen to hold under message loss,
+    /// duplication, and un-drained inboxes (the stress artifacts are
+    /// produced under exactly those), so a violation means a *recording*
+    /// is wrong — a dropped terminal, a duplicated forward, a
+    /// non-monotonic hop — not that the network misbehaved:
+    ///
+    /// * hop monotonicity along every path ([`DetectionPath::check_hops_increase`]);
+    /// * `branches == sent`: every emitted CDM is announced by its
+    ///   forward step (send-side recording precedes fault injection);
+    /// * `terminals + forward_steps == started + delivered`: every
+    ///   processing step closes with exactly one verdict or forward.
+    ///
+    /// A trace with ring overwrites is a suffix: all checks are skipped
+    /// and [`TraceCheck::skipped_overwritten`] is set.
+    pub fn check(&self) -> TraceCheck {
+        let mut check = TraceCheck {
+            detections: 0,
+            hop_violations: Vec::new(),
+            balance_violations: Vec::new(),
+            skipped_overwritten: self.overwritten > 0,
+        };
+        if check.skipped_overwritten {
+            return check;
+        }
+        for id in self.detection_ids() {
+            check.detections += 1;
+            let path = self.detection(id);
+            if let Err(e) = path.check_hops_increase() {
+                check.hop_violations.push(e);
+            }
+            let b = path.balance();
+            if b.branches != b.sent {
+                check.balance_violations.push(format!(
+                    "{id}: {} forwarded branches but {} CdmSent events",
+                    b.branches, b.sent
+                ));
+            }
+            let steps = u64::from(b.started) + b.delivered;
+            if b.terminals + b.forward_steps != steps {
+                check.balance_violations.push(format!(
+                    "{id}: {} processing steps (started={} + delivered={}) closed by \
+                     {} terminals + {} forwards",
+                    steps, b.started as u8, b.delivered, b.terminals, b.forward_steps
+                ));
+            }
+        }
+        check
+    }
+}
+
+/// Result of [`Trace::check`]: the ledger- and monotonicity-level verdicts
+/// `acdgc-report --check` gates CI on.
+#[derive(Clone, Debug, Default)]
+pub struct TraceCheck {
+    /// Detections examined.
+    pub detections: usize,
+    pub hop_violations: Vec<String>,
+    pub balance_violations: Vec<String>,
+    /// True when the trace had ring overwrites and the checks were skipped
+    /// (a suffix trace cannot be balanced).
+    pub skipped_overwritten: bool,
+}
+
+impl TraceCheck {
+    pub fn ok(&self) -> bool {
+        self.hop_violations.is_empty() && self.balance_violations.is_empty()
+    }
+
+    /// All violations, for printing.
+    pub fn violations(&self) -> impl Iterator<Item = &String> {
+        self.hop_violations
+            .iter()
+            .chain(self.balance_violations.iter())
     }
 }
 
@@ -633,6 +764,125 @@ mod tests {
             .detection(DetectionId(3))
             .check_hops_increase()
             .is_err());
+    }
+
+    /// Build the healthy single-cycle detection used by the export tests:
+    /// start at P0, one CDM to P1, cycle verdict there.
+    fn two_proc_cycle_trace() -> Trace {
+        let mut pt = ProcTrace::new(ProcId(0), &cfg(64));
+        let mut other = ProcTrace::new(ProcId(1), &cfg(64));
+        other.share_seq(pt.seq_handle());
+        let id = DetectionId(7);
+        pt.record(SimTime(1), started(7, 1));
+        pt.record(
+            SimTime(1),
+            Event::CdmForwarded {
+                id,
+                hop: 0,
+                branches: 1,
+                pruned_local: 0,
+                pruned_no_new_info: 0,
+            },
+        );
+        pt.record(
+            SimTime(1),
+            Event::CdmSent {
+                id,
+                to: ProcId(1),
+                via: RefId(1),
+                hop: 1,
+                sources: 1,
+                targets: 1,
+                bytes: 64,
+            },
+        );
+        other.record(
+            SimTime(2),
+            Event::CdmDelivered {
+                id,
+                via: RefId(1),
+                hop: 1,
+                sources: 1,
+                targets: 1,
+                bytes: 64,
+            },
+        );
+        other.record(
+            SimTime(2),
+            Event::CycleDetected {
+                id,
+                hop: 1,
+                scions: 2,
+            },
+        );
+        let t0 = pt.begin(SimTime(3), Phase::Lgc);
+        pt.end(SimTime(3), Phase::Lgc, t0);
+        Trace::collect([&pt, &other])
+    }
+
+    #[test]
+    fn jsonl_round_trips_into_equal_trace() {
+        let trace = two_proc_cycle_trace();
+        let mut buf = Vec::new();
+        trace.to_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let (back, health) = Trace::from_jsonl(&text).unwrap();
+        assert!(health.is_empty());
+        assert_eq!(back.events, trace.events);
+        assert_eq!(back.overwritten, 0);
+        assert_eq!(back.phases.len(), 1, "only P0 sampled a phase");
+        assert_eq!(back.phases[0].1, trace.phases[0].1);
+        assert!(back.check().ok());
+    }
+
+    #[test]
+    fn from_jsonl_surfaces_health_reports_and_rejects_junk() {
+        let trace = two_proc_cycle_trace();
+        let mut buf = Vec::new();
+        trace.to_jsonl(&mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        let report = crate::health::HealthReport {
+            at_us: 99,
+            reason: crate::health::HealthReason::Quiescent,
+            workers: vec![],
+        };
+        text.push_str(&serde_json::to_string(&report.to_json()).unwrap());
+        text.push('\n');
+        let (_, health) = Trace::from_jsonl(&text).unwrap();
+        assert_eq!(health.len(), 1);
+        assert_eq!(health[0].at_us, 99);
+
+        assert!(Trace::from_jsonl("{\"type\":\"mystery\"}\n").is_err());
+        assert!(Trace::from_jsonl("not json\n").is_err());
+    }
+
+    #[test]
+    fn check_flags_a_dropped_terminal() {
+        let trace = two_proc_cycle_trace();
+        assert!(trace.check().ok());
+        // Synthetic corruption: remove the terminal verdict. The delivered
+        // CDM's processing step now closes with nothing — exactly the
+        // bookkeeping hole `--check` exists to catch.
+        let mut corrupted = trace.clone();
+        corrupted
+            .events
+            .retain(|r| !matches!(r.event, Event::CycleDetected { .. }));
+        let check = corrupted.check();
+        assert!(!check.ok());
+        assert_eq!(check.balance_violations.len(), 1, "{check:?}");
+        assert!(check.hop_violations.is_empty());
+    }
+
+    #[test]
+    fn check_skips_suffix_traces() {
+        let mut pt = ProcTrace::new(ProcId(0), &cfg(2));
+        for i in 0..5 {
+            pt.record(SimTime(i), started(i, i));
+        }
+        let trace = Trace::collect([&pt]);
+        let check = trace.check();
+        assert!(check.skipped_overwritten);
+        assert!(check.ok(), "a suffix trace is unjudgeable, not guilty");
     }
 
     #[test]

@@ -44,4 +44,4 @@ pub use metrics::Metrics;
 pub use oracle::{global_live, live_count_by_proc};
 pub use process::Process;
 pub use system::System;
-pub use threaded::merged_metrics;
+pub use threaded::{merged_metrics, ReportHook, SweepHook, ThreadedOptions, ThreadedRun};

@@ -1,6 +1,7 @@
 //! System-wide counters: the raw material of every experiment table.
 
 use serde::Serialize;
+use serde_json::Value;
 
 /// Counters accumulated by a [`crate::System`] run. All monotone counters
 /// except [`Metrics::max_cdm_bytes`], which is a high-water gauge; snapshot
@@ -151,6 +152,48 @@ impl Metrics {
         self.max_cdm_bytes = self.max_cdm_bytes.max(other.max_cdm_bytes);
     }
 
+    /// Every field as a flat JSON object, field names as keys. Built by
+    /// hand (the vendored `serde_json` has no generic serializer); the
+    /// `for_each_counter!` list keeps it complete by construction.
+    pub fn to_json(&self) -> Value {
+        let mut m = serde_json::Map::new();
+        macro_rules! put {
+            ($($f:ident),* $(,)?) => {
+                $(m.insert(stringify!($f).to_string(), Value::from(self.$f));)*
+            };
+        }
+        for_each_counter!(put);
+        m.insert("max_cdm_bytes".to_string(), Value::from(self.max_cdm_bytes));
+        Value::Object(m)
+    }
+
+    /// Render every counter in Prometheus text exposition format:
+    /// `# TYPE acdgc_<field>_total counter` + value per counter, plus the
+    /// `acdgc_max_cdm_bytes` gauge. Metric names are the field names and
+    /// are documented in DESIGN.md §Runtime health; callers append phase
+    /// histograms via `PhaseHistograms::to_prometheus_into` for the full
+    /// scrape payload.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        self.to_prometheus_into(&mut out);
+        out
+    }
+
+    pub fn to_prometheus_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        macro_rules! expose {
+            ($($f:ident),* $(,)?) => {
+                $(
+                    let _ = writeln!(out, "# TYPE acdgc_{}_total counter", stringify!($f));
+                    let _ = writeln!(out, "acdgc_{}_total {}", stringify!($f), self.$f);
+                )*
+            };
+        }
+        for_each_counter!(expose);
+        out.push_str("# TYPE acdgc_max_cdm_bytes gauge\n");
+        let _ = writeln!(out, "acdgc_max_cdm_bytes {}", self.max_cdm_bytes);
+    }
+
     /// All detection attempts that ended without finding a cycle.
     pub fn detections_failed(&self) -> u64 {
         self.detections_dropped_no_scion
@@ -237,6 +280,76 @@ mod tests {
         assert_eq!(merged.cdms_sent, 7);
         assert_eq!(merged.cycles_detected, 1);
         assert_eq!(merged.max_cdm_bytes, 100);
+    }
+
+    /// Line-format sanity round trip: every exposition line must be either
+    /// a `# TYPE <name> <kind>` comment or `<name> <integer>`, every
+    /// `# TYPE` must be followed by its sample, and the parsed-back values
+    /// must equal the source fields.
+    #[test]
+    fn prometheus_exposition_round_trips_line_format() {
+        let m = Metrics {
+            cdms_sent: 42,
+            cycles_detected: 7,
+            max_cdm_bytes: 4096,
+            votes_cast: 8,
+            ..Metrics::default()
+        };
+        let text = m.to_prometheus();
+        let mut parsed: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+        let mut announced: Option<String> = None;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split(' ');
+                let name = parts.next().expect("# TYPE carries a metric name");
+                let kind = parts.next().expect("# TYPE carries a kind");
+                assert!(parts.next().is_none(), "junk after kind: {line}");
+                assert!(
+                    kind == "counter" || kind == "gauge",
+                    "unknown kind in {line}"
+                );
+                assert_eq!(
+                    kind == "counter",
+                    name.ends_with("_total"),
+                    "counters (and only counters) use the _total suffix: {line}"
+                );
+                announced = Some(name.to_string());
+            } else {
+                let (name, value) = line.split_once(' ').expect("sample line: name value");
+                assert_eq!(
+                    announced.as_deref(),
+                    Some(name),
+                    "sample must follow its own # TYPE: {line}"
+                );
+                assert!(name.starts_with("acdgc_"), "namespaced: {line}");
+                let v: u64 = value.parse().unwrap_or_else(|e| panic!("{line}: {e}"));
+                assert!(parsed.insert(name.to_string(), v).is_none(), "dup {name}");
+            }
+        }
+        assert_eq!(parsed["acdgc_cdms_sent_total"], 42);
+        assert_eq!(parsed["acdgc_cycles_detected_total"], 7);
+        assert_eq!(parsed["acdgc_votes_cast_total"], 8);
+        assert_eq!(parsed["acdgc_nss_sent_total"], 0, "zeroes still exposed");
+        assert_eq!(parsed["acdgc_max_cdm_bytes"], 4096);
+        // One sample per field: 40 counters + the gauge.
+        assert_eq!(parsed.len(), 41, "{text}");
+    }
+
+    #[test]
+    fn metrics_json_covers_every_field() {
+        let m = Metrics {
+            cdms_sent: 3,
+            max_cdm_bytes: 128,
+            ..Metrics::default()
+        };
+        match m.to_json() {
+            Value::Object(obj) => {
+                assert_eq!(obj.iter().count(), 41, "40 counters + gauge");
+                assert_eq!(obj.get("cdms_sent"), Some(&Value::from(3u64)));
+                assert_eq!(obj.get("max_cdm_bytes"), Some(&Value::from(128u64)));
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
     }
 
     #[test]

@@ -102,6 +102,17 @@ impl System {
         Trace::collect(self.procs.iter().map(|p| &p.obs))
     }
 
+    /// Render the merged metrics ledger plus the merged per-phase latency
+    /// histograms in Prometheus text exposition format. Metric names are
+    /// documented in DESIGN.md ("Runtime health"); scrape this from a
+    /// debug endpoint or dump it at end of run.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        self.metrics.to_prometheus_into(&mut out);
+        self.trace().merged_phases().to_prometheus_into(&mut out);
+        out
+    }
+
     /// Apply one counter update to the merged ledger *and* the owning
     /// process's ledger, keeping the two views consistent by construction.
     fn bump(&mut self, p: ProcId, f: impl Fn(&mut Metrics)) {

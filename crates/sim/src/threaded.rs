@@ -50,7 +50,12 @@ use crate::process::Process;
 use acdgc_dcda::{Cdm, Outcome, TerminateReason};
 use acdgc_heap::lgc;
 use acdgc_model::rng::component_rng;
-use acdgc_model::{DetectionId, GcConfig, IntegrationMode, NetConfig, ProcId, RefId, SimTime};
+use acdgc_model::{
+    DetectionId, GcConfig, IntegrationMode, NetConfig, ProcId, RefId, SimTime, WatchdogConfig,
+};
+use acdgc_obs::health::{
+    HealthReason, HealthReport, Heartbeat, Heartbeats, WorkerHealth, WorkerStage,
+};
 use acdgc_obs::{DropReason, Event, Phase, TermReason};
 use acdgc_remoting::{apply_new_set_stubs_observed, build_new_set_stubs, NewSetStubs};
 use crossbeam::channel::{bounded, Receiver, Sender};
@@ -138,6 +143,11 @@ struct Quiescence {
     /// Messages taken out of a channel.
     drained: AtomicU64,
     stop: AtomicBool,
+    /// Workers that have fully exited (final drain + flush done). The
+    /// watchdog monitor watches this, not `stop`: a worker can stay stuck
+    /// *after* the stop flag is raised, and that tail-end stall is exactly
+    /// the one worth reporting.
+    workers_done: AtomicU64,
 }
 
 impl Quiescence {
@@ -149,6 +159,7 @@ impl Quiescence {
             enqueued: AtomicU64::new(0),
             drained: AtomicU64::new(0),
             stop: AtomicBool::new(false),
+            workers_done: AtomicU64::new(0),
         }
     }
 
@@ -217,6 +228,88 @@ pub fn run_concurrent_collection_with_faults(
     seed: u64,
     deadline: Duration,
 ) -> (Vec<Process>, Arc<ThreadedStats>) {
+    let run = run_concurrent_collection_observed(
+        procs,
+        cfg,
+        ThreadedOptions {
+            net,
+            seed,
+            deadline,
+            ..ThreadedOptions::default()
+        },
+    );
+    (run.procs, run.stats)
+}
+
+/// A hook the runtime calls at the end of every worker loop iteration:
+/// `(worker, sweep, voted)`. It runs in the same iteration as a vote cast
+/// — before the next stop-flag check — so tests and examples can inject
+/// deterministic slowness/stalls into one worker without touching the
+/// protocol code.
+pub type SweepHook = Arc<dyn Fn(ProcId, u64, bool) + Send + Sync>;
+
+/// Callback invoked with every [`HealthReport`] the watchdog emits (stall
+/// reports live, the terminal report after the workers joined). Called
+/// from the monitor/runner thread with no locks held.
+pub type ReportHook = Arc<dyn Fn(&HealthReport) + Send + Sync>;
+
+/// Everything [`run_concurrent_collection_observed`] takes beyond the
+/// processes and the GC config.
+#[derive(Clone)]
+pub struct ThreadedOptions {
+    /// Fault model for the send path (latency fields ignored).
+    pub net: NetConfig,
+    /// Fault-injector seed.
+    pub seed: u64,
+    /// Wall-clock backstop if quiescence is never reached.
+    pub deadline: Duration,
+    pub sweep_hook: Option<SweepHook>,
+    pub on_report: Option<ReportHook>,
+}
+
+impl Default for ThreadedOptions {
+    fn default() -> Self {
+        ThreadedOptions {
+            net: NetConfig {
+                gc_drop_probability: 0.0,
+                gc_duplicate_probability: 0.0,
+                ..NetConfig::instant()
+            },
+            seed: 0,
+            deadline: Duration::from_secs(60),
+            sweep_hook: None,
+            on_report: None,
+        }
+    }
+}
+
+/// What a threaded run returns: the final processes, the legacy shared
+/// stats, and every [`HealthReport`] the watchdog produced (stall reports
+/// in emission order, then exactly one terminal report — quiescent or
+/// deadline — when `cfg.watchdog.enabled`).
+pub struct ThreadedRun {
+    pub procs: Vec<Process>,
+    pub stats: Arc<ThreadedStats>,
+    pub health: Vec<HealthReport>,
+}
+
+/// The full-fidelity entry point: [`run_concurrent_collection_with_faults`]
+/// plus the runtime health subsystem — per-worker heartbeat slots, a
+/// watchdog monitor thread detecting stalls against
+/// [`GcConfig`]'s `watchdog` thresholds, and [`HealthReport`] snapshots
+/// that expose each worker's *pending* (not yet flushed) event tail.
+pub fn run_concurrent_collection_observed(
+    procs: Vec<Process>,
+    cfg: GcConfig,
+    opts: ThreadedOptions,
+) -> ThreadedRun {
+    let ThreadedOptions {
+        net,
+        seed,
+        deadline,
+        sweep_hook,
+        on_report,
+    } = opts;
     let mut procs = procs;
     let n = procs.len();
     let stats = Arc::new(ThreadedStats::default());
@@ -250,6 +343,10 @@ pub fn run_concurrent_collection_with_faults(
     let cells: Vec<Arc<Mutex<Process>>> =
         procs.into_iter().map(|p| Arc::new(Mutex::new(p))).collect();
 
+    let heartbeats = Heartbeats::new(n);
+    let tails: Vec<SharedTail> = (0..n).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
+    let reports: Arc<Mutex<Vec<HealthReport>>> = Arc::new(Mutex::new(Vec::new()));
+
     let start = Instant::now();
     let mut handles = Vec::with_capacity(n);
     for i in 0..n {
@@ -267,7 +364,9 @@ pub fn run_concurrent_collection_with_faults(
             detection_ids: Arc::clone(&detection_ids),
             nss_out: FxHashMap::default(),
             local: Metrics::default(),
-            pending: Vec::new(),
+            hb: Arc::clone(&heartbeats),
+            tail: Arc::clone(&tails[i]),
+            hook: sweep_hook.clone(),
             started: start,
             round: 0,
             voted: false,
@@ -277,9 +376,45 @@ pub fn run_concurrent_collection_with_faults(
             worker(ctx, cell, rx, start, deadline)
         }));
     }
+
+    let monitor_handle = (cfg.watchdog.enabled && n > 0).then(|| {
+        let mctx = MonitorCtx {
+            hb: Arc::clone(&heartbeats),
+            tails: tails.clone(),
+            cells: cells.clone(),
+            quiescence: Arc::clone(&quiescence),
+            wcfg: cfg.watchdog,
+            start,
+            reports: Arc::clone(&reports),
+            on_report: on_report.clone(),
+        };
+        thread::spawn(move || monitor(mctx))
+    });
+
     for h in handles {
         h.join().expect("worker thread panicked");
     }
+    if let Some(h) = monitor_handle {
+        h.join().expect("watchdog monitor thread panicked");
+    }
+
+    // Terminal report: every worker has exited (tails flushed, locks
+    // free), so this snapshot is exact rather than best-effort.
+    if cfg.watchdog.enabled && n > 0 {
+        let reason = if stats.quiescent() {
+            HealthReason::Quiescent
+        } else {
+            HealthReason::Deadline
+        };
+        let at_us = start.elapsed().as_micros() as u64;
+        let beats = heartbeats.snapshot();
+        let report = build_health_report(reason, at_us, &beats, &[], &tails, &cells);
+        if let Some(cb) = &on_report {
+            cb(&report);
+        }
+        reports.lock().push(report);
+    }
+
     let procs = cells
         .into_iter()
         .map(|c| {
@@ -288,7 +423,124 @@ pub fn run_concurrent_collection_with_faults(
                 .unwrap_or_else(|arc| arc.lock().clone())
         })
         .collect();
-    (procs, stats)
+    let health = std::mem::take(&mut *reports.lock());
+    ThreadedRun {
+        procs,
+        stats,
+        health,
+    }
+}
+
+/// A worker's pending-event tail, shared with the watchdog monitor. The
+/// worker is the only writer (push on record, drain on flush); the monitor
+/// clones the contents under the lock when building a report. Both
+/// critical sections are a few pointer moves, so the lock never backs up
+/// the hot path the way locking the process ring would.
+type SharedTail = Arc<Mutex<Vec<(SimTime, Event)>>>;
+
+/// Everything the watchdog monitor thread reads.
+struct MonitorCtx {
+    hb: Arc<Heartbeats>,
+    tails: Vec<SharedTail>,
+    cells: Vec<Arc<Mutex<Process>>>,
+    quiescence: Arc<Quiescence>,
+    wcfg: WatchdogConfig,
+    start: Instant,
+    reports: Arc<Mutex<Vec<HealthReport>>>,
+    on_report: Option<ReportHook>,
+}
+
+/// The watchdog loop: poll the heartbeat slots every `poll_every`, emit a
+/// stall [`HealthReport`] when any worker's beat goes older than
+/// `stall_after`. Runs until every worker has fully exited — not merely
+/// until the stop flag — because a worker wedged during its final drain is
+/// still a stall worth seeing.
+fn monitor(ctx: MonitorCtx) {
+    let stall_after_us = ctx.wcfg.stall_after.as_ticks().max(1);
+    let poll = Duration::from_micros(ctx.wcfg.poll_every.as_ticks().max(1_000));
+    let workers = ctx.hb.len() as u64;
+    // Beat value already reported per worker: one stall episode produces
+    // one report, a *new* beat followed by a new silence is a new episode.
+    let mut reported_beat: Vec<u64> = vec![u64::MAX; ctx.hb.len()];
+    let mut stall_reports = 0usize;
+    while ctx.quiescence.workers_done.load(Ordering::SeqCst) < workers {
+        thread::sleep(poll);
+        if stall_reports >= ctx.wcfg.max_stall_reports {
+            continue; // keep waiting for exit, but stop reporting
+        }
+        let beats = ctx.hb.snapshot();
+        let now_us = ctx.start.elapsed().as_micros() as u64;
+        let stalled: Vec<bool> = beats
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                b.stage != WorkerStage::Done
+                    && now_us.saturating_sub(b.last_beat_us) > stall_after_us
+                    && reported_beat[i] != b.last_beat_us
+            })
+            .collect();
+        if !stalled.iter().any(|&s| s) {
+            continue;
+        }
+        for (i, &s) in stalled.iter().enumerate() {
+            if s {
+                reported_beat[i] = beats[i].last_beat_us;
+            }
+        }
+        let report = build_health_report(
+            HealthReason::Stall,
+            now_us,
+            &beats,
+            &stalled,
+            &ctx.tails,
+            &ctx.cells,
+        );
+        if let Some(cb) = &ctx.on_report {
+            cb(&report);
+        }
+        ctx.reports.lock().push(report);
+        stall_reports += 1;
+    }
+}
+
+/// Snapshot every worker's vitals, pending tail, and (when the process
+/// lock is free) metrics ledger. `stalled` is per-worker flags; empty
+/// means "none" (the terminal report).
+fn build_health_report(
+    reason: HealthReason,
+    at_us: u64,
+    beats: &[Heartbeat],
+    stalled: &[bool],
+    tails: &[SharedTail],
+    cells: &[Arc<Mutex<Process>>],
+) -> HealthReport {
+    let workers = beats
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let pending_tail = tails[i].lock().clone();
+            // try_lock: a worker stalled *inside* a sweep holds its
+            // process lock; blocking on it would wedge the watchdog
+            // behind the very stall it is reporting.
+            let ledger = cells[i].try_lock().map(|p| p.metrics.to_json());
+            WorkerHealth {
+                proc: ProcId(i as u16),
+                stage: b.stage,
+                last_beat_us: b.last_beat_us,
+                sweep: b.sweep,
+                voted: b.voted,
+                inbox_depth: b.inbox_depth(),
+                stalled: stalled.get(i).copied().unwrap_or(false),
+                pending_tail,
+                ledger,
+            }
+        })
+        .collect();
+    HealthReport {
+        at_us,
+        reason,
+        workers,
+    }
 }
 
 /// Outbound `NewSetStubs` bookkeeping towards one peer.
@@ -323,11 +575,19 @@ struct WorkerCtx {
     /// [`ThreadedStats`] counters so sequential and threaded runs emit
     /// comparable `Metrics`.
     local: Metrics,
+    /// Shared heartbeat slots: this worker publishes into slot
+    /// `me.index()`, reads nothing. The watchdog monitor reads all slots.
+    hb: Arc<Heartbeats>,
     /// Events recorded while the process lock is *not* held (vote
     /// transitions, send-path drops' NSS bookkeeping). Flushed into the
     /// per-process ring at sweep boundaries so the hot path never takes a
-    /// shared lock just to trace.
-    pending: Vec<(SimTime, Event)>,
+    /// shared lock just to trace. Shared with the watchdog monitor so a
+    /// stall report can expose the not-yet-flushed tail.
+    tail: SharedTail,
+    /// Test/diagnostic hook invoked once per loop iteration, after the
+    /// heartbeat for that iteration is published. Lets a test wedge a
+    /// specific worker at a known point without reaching into internals.
+    hook: Option<SweepHook>,
     started: Instant,
     round: u64,
     voted: bool,
@@ -364,23 +624,37 @@ impl WorkerCtx {
     }
 
     /// Buffer an event without taking the process lock; delivered to the
-    /// per-process ring at the next [`WorkerCtx::flush_into`].
+    /// per-process ring at the next [`WorkerCtx::flush_into`]. The tail
+    /// lock is uncontended except when the watchdog snapshots it.
     fn trace(&mut self, event: Event) {
         if self.trace_on {
-            self.pending.push((self.now(), event));
+            let at = self.now();
+            let len = {
+                let mut tail = self.tail.lock();
+                tail.push((at, event));
+                tail.len()
+            };
+            self.hb.slot(self.me.index()).set_pending(len);
         }
     }
 
     /// Fold this worker's lock-free accumulations into the process: the
-    /// `local` metrics into the process ledger, the `pending` events into
-    /// the process ring. Called with the lock held at sweep boundaries and
-    /// once after the final drain.
+    /// `local` metrics into the process ledger, the pending `tail` events
+    /// into the process ring. Called with the lock held at sweep
+    /// boundaries and once after the final drain.
     fn flush_into(&mut self, p: &mut Process) {
         if self.local != Metrics::default() {
             p.metrics.absorb(&self.local);
             self.local = Metrics::default();
         }
-        for (at, event) in self.pending.drain(..) {
+        let drained: Vec<(SimTime, Event)> = {
+            let mut tail = self.tail.lock();
+            tail.drain(..).collect()
+        };
+        if !drained.is_empty() {
+            self.hb.slot(self.me.index()).set_pending(0);
+        }
+        for (at, event) in drained {
             p.obs.record(at, event);
         }
     }
@@ -434,6 +708,7 @@ impl WorkerCtx {
         for _ in 0..copies {
             if self.txs[dest.index()].try_send(msg.clone()).is_ok() {
                 self.quiescence.enqueued.fetch_add(1, Ordering::SeqCst);
+                self.hb.slot(dest.index()).note_enqueue();
             } else {
                 self.count_drop(kind);
             }
@@ -466,6 +741,7 @@ impl WorkerCtx {
                 self.quiet_streak = 0;
             }
             self.quiescence.drained.fetch_add(1, Ordering::SeqCst);
+            self.hb.slot(self.me.index()).note_drain();
             drained += 1;
             let now = self.now();
             match msg {
@@ -878,11 +1154,26 @@ fn worker(
     start: Instant,
     deadline: Duration,
 ) {
+    let me = ctx.me.index();
+    let hb = Arc::clone(&ctx.hb);
+    let hook = ctx.hook.take();
+    hb.slot(me)
+        .beat(now_us(start), 0, WorkerStage::Starting, false);
     while !ctx.quiescence.stop.load(Ordering::SeqCst) {
         if start.elapsed() >= deadline {
             break;
         }
         ctx.round += 1;
+        hb.slot(me).beat(
+            now_us(start),
+            ctx.round,
+            if ctx.voted {
+                WorkerStage::Voted
+            } else {
+                WorkerStage::Draining
+            },
+            ctx.voted,
+        );
 
         let received = ctx.drain(&cell, &rx, DrainMode::Live);
         if received > 0 {
@@ -890,6 +1181,7 @@ fn worker(
         }
 
         if !ctx.voted {
+            hb.slot(me).set_stage(WorkerStage::Sweeping, now_us(start));
             let active = ctx.sweep(&cell, start);
             if active || received > 0 {
                 ctx.quiet_streak = 0;
@@ -903,18 +1195,38 @@ fn worker(
                 ctx.local.votes_cast += 1;
                 let sweep = ctx.round;
                 ctx.trace(Event::VoteCast { sweep });
+                hb.slot(me)
+                    .beat(now_us(start), ctx.round, WorkerStage::Voted, true);
             }
         } else if ctx.quiescence.globally_quiet() {
             ctx.stats.stopped_by_quiescence.store(1, Ordering::SeqCst);
             ctx.quiescence.stop.store(true, Ordering::SeqCst);
             break;
         }
+        // End-of-iteration hook: runs in the same iteration as a vote cast
+        // (no stop check in between), so a test can deterministically wedge
+        // a worker with its `VoteCast` still in the pending tail.
+        if let Some(h) = &hook {
+            h(ctx.me, ctx.round, ctx.voted);
+        }
         thread::yield_now();
     }
     // Final drain so late NSS / scion deletes buffered by peers that
     // stopped after us are applied rather than lost.
+    hb.slot(me)
+        .set_stage(WorkerStage::FinalDrain, now_us(start));
     ctx.drain(&cell, &rx, DrainMode::Final);
     // Last flush: whatever the final drain (and a voted worker's last
     // live drains) accumulated must land in the process ledger and ring.
     ctx.flush_into(&mut cell.lock());
+    hb.slot(me)
+        .beat(now_us(start), ctx.round, WorkerStage::Done, ctx.voted);
+    // Signal the watchdog monitor that this worker has fully exited; the
+    // monitor loops until every worker has, not until the stop flag.
+    ctx.quiescence.workers_done.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Microseconds since the run started — the worker/watchdog shared clock.
+fn now_us(start: Instant) -> u64 {
+    start.elapsed().as_micros() as u64
 }

@@ -1,0 +1,91 @@
+//! Live runtime-health dashboard for the threaded runtime: a mesh of
+//! garbage rings collected concurrently while one worker is deliberately
+//! wedged mid-run. The watchdog names the stalled worker — including the
+//! events still sitting in its unflushed trace tail — and the run ends
+//! with the terminal health report plus a Prometheus-format metrics
+//! snapshot.
+//!
+//! Run with `cargo run --example health_dashboard`.
+
+use acdgc::model::{GcConfig, NetConfig, ProcId, SimDuration, TraceConfig, WatchdogConfig};
+use acdgc::obs::{HealthReason, Trace};
+use acdgc::sim::{merged_metrics, scenarios, threaded, System, ThreadedOptions};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let cfg = GcConfig {
+        quiet_sweeps: 3,
+        trace: TraceConfig::on(),
+        watchdog: WatchdogConfig {
+            enabled: true,
+            stall_after: SimDuration::from_millis(40),
+            poll_every: SimDuration::from_millis(5),
+            max_stall_reports: 4,
+        },
+        ..GcConfig::manual()
+    };
+
+    // A 6-process mesh holding three distributed garbage rings: real
+    // collection work for the workers before they can vote.
+    let mut sys = System::new(6, cfg.clone(), NetConfig::instant(), 11);
+    let ids: Vec<ProcId> = (0..6).map(ProcId).collect();
+    for span in [3, 4, 5] {
+        scenarios::ring(&mut sys, &ids, span, false);
+    }
+
+    // The fault: worker 4 goes quiet for ~120ms the first time it enters
+    // an iteration with its vote held — long past `stall_after`, so the
+    // watchdog must flag it while the rest of the mesh keeps sweeping.
+    let wedged_once = AtomicBool::new(false);
+    let sweep_hook: threaded::SweepHook = Arc::new(move |proc, _sweep, voted| {
+        if proc.0 == 4 && voted && !wedged_once.swap(true, Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(120));
+        }
+    });
+    // Live dashboard: every report the monitor emits is rendered as it
+    // happens, from the monitor thread.
+    let on_report: threaded::ReportHook = Arc::new(|report| {
+        println!("---- health report ({}) ----", report.reason.name());
+        println!("{}", report.render());
+    });
+
+    let run = threaded::run_concurrent_collection_observed(
+        sys.into_procs(),
+        cfg,
+        ThreadedOptions {
+            sweep_hook: Some(sweep_hook),
+            on_report: Some(on_report),
+            deadline: Duration::from_secs(30),
+            ..ThreadedOptions::default()
+        },
+    );
+
+    let live: usize = run.procs.iter().map(|p| p.heap.stats().live_objects).sum();
+    println!(
+        "== run finished: quiescent={}, live={live} ==",
+        run.stats.quiescent()
+    );
+    let stalls = run
+        .health
+        .iter()
+        .filter(|r| r.reason == HealthReason::Stall)
+        .count();
+    let terminal = run.health.last().expect("watchdog terminal report");
+    println!(
+        "watchdog: {} report(s), {stalls} stall(s), terminal={}",
+        run.health.len(),
+        terminal.reason.name()
+    );
+
+    // The same data a scrape endpoint would serve: merged per-process
+    // counters plus the cross-worker phase-latency histograms.
+    println!("\n== prometheus snapshot ==");
+    let mut out = String::new();
+    merged_metrics(&run.procs).to_prometheus_into(&mut out);
+    Trace::collect(run.procs.iter().map(|p| &p.obs))
+        .merged_phases()
+        .to_prometheus_into(&mut out);
+    println!("{out}");
+}

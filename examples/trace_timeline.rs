@@ -6,10 +6,11 @@
 //!
 //! Run with `cargo run --example trace_timeline`.
 
-use acdgc::model::{GcConfig, NetConfig, ProcId, SimDuration, TraceConfig};
+use acdgc::model::{GcConfig, NetConfig, ProcId, SimDuration, TraceConfig, WatchdogConfig};
 use acdgc::obs::Phase;
-use acdgc::sim::{scenarios, System};
+use acdgc::sim::{scenarios, threaded, System, ThreadedOptions};
 use std::path::Path;
+use std::time::Duration;
 
 fn main() {
     // The worked example uses the strict step 15 rule (slack 0) so the
@@ -90,4 +91,34 @@ fn main() {
     let out = Path::new("target/trace_fig4.jsonl");
     trace.dump_jsonl(out).expect("write trace export");
     println!("\n[full trace exported to {}]", out.display());
+
+    // The same topology once more, but collected by the threaded runtime
+    // under the watchdog: workers publish heartbeats every sweep and the
+    // run ends with a terminal health report — the forensics above plus
+    // liveness evidence for every worker.
+    println!("\n== watchdog: threaded re-run with health reports ==");
+    let cfg = GcConfig {
+        quiet_sweeps: 3,
+        trace: TraceConfig::on(),
+        watchdog: WatchdogConfig::default(),
+        ..GcConfig::manual()
+    };
+    let mut sys = System::new(6, cfg.clone(), NetConfig::instant(), 2);
+    scenarios::fig4(&mut sys);
+    let run = threaded::run_concurrent_collection_observed(
+        sys.into_procs(),
+        cfg,
+        ThreadedOptions {
+            deadline: Duration::from_secs(30),
+            ..ThreadedOptions::default()
+        },
+    );
+    for report in &run.health {
+        println!("{}", report.render());
+    }
+    println!(
+        "[quiescent={}, {} health report(s)]",
+        run.stats.quiescent(),
+        run.health.len()
+    );
 }

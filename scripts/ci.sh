@@ -30,6 +30,25 @@ fi
 echo "trace artifacts kept under $trace_dir:"
 ls -l "$trace_dir"
 
+echo "==> trace forensics gate (acdgc-report --check)"
+# Every artifact the stress stage exported must reconstruct with balanced
+# detection ledgers and monotonic hop counters.
+cargo run -q --offline --release -p acdgc-bench --bin acdgc-report -- --check "$trace_dir"
+
+echo "==> trace forensics gate (corrupted artifact must FAIL)"
+# Negative control: strip every cycle_detected line from a healthy
+# artifact — the balance ledger no longer closes, so --check must exit
+# non-zero. If it passes, the checker has gone blind.
+corrupt_dir="target/trace-artifacts-corrupted"
+rm -rf "$corrupt_dir" && mkdir -p "$corrupt_dir"
+src_artifact="$(ls "$trace_dir"/*.jsonl | head -n 1)"
+grep -v '"type":"cycle_detected"' "$src_artifact" > "$corrupt_dir/corrupted.jsonl"
+if cargo run -q --offline --release -p acdgc-bench --bin acdgc-report -- --check "$corrupt_dir" \
+    > /dev/null 2>&1; then
+    echo "acdgc-report --check accepted a corrupted artifact" >&2
+    exit 1
+fi
+
 echo "==> clippy (-D warnings)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

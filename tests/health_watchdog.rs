@@ -1,0 +1,224 @@
+//! The threaded runtime's watchdog: heartbeat slots, stall detection, and
+//! `HealthReport` forensics.
+//!
+//! The central test wedges one worker deliberately (via the sweep hook)
+//! and asserts the watchdog names that worker, exposes the `VoteCast`
+//! event still sitting in its pending (not-yet-flushed) tail, and that
+//! the run still finishes — the monitor must never deadlock against the
+//! very stall it is reporting.
+
+use acdgc::model::{GcConfig, NetConfig, SimDuration, TraceConfig, WatchdogConfig};
+use acdgc::obs::{HealthReason, WorkerStage};
+use acdgc::sim::{threaded, System, ThreadedOptions};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Fast-quiescing config with an aggressive watchdog: empty heaps vote
+/// after 2 quiet sweeps, a ~40ms silence is a stall, polled every 5ms.
+fn watchdog_cfg() -> GcConfig {
+    GcConfig {
+        quiet_sweeps: 2,
+        trace: TraceConfig::on(),
+        watchdog: WatchdogConfig {
+            enabled: true,
+            stall_after: SimDuration::from_millis(40),
+            poll_every: SimDuration::from_millis(5),
+            max_stall_reports: 8,
+        },
+        ..GcConfig::manual()
+    }
+}
+
+#[test]
+fn stalled_worker_is_named_with_its_pending_tail() {
+    // Empty heaps: nothing to collect, so every worker votes quickly. The
+    // hook wedges worker 3 the first time it enters an iteration with its
+    // vote held — the `VoteCast` event from the previous iteration is then
+    // guaranteed to still sit in its pending tail (voted workers do not
+    // sweep, and only sweeps flush the tail).
+    let sys = System::new(4, watchdog_cfg(), NetConfig::instant(), 5);
+    let released = Arc::new(AtomicBool::new(false));
+    let reported = Arc::new(parking_lot_free_reports());
+
+    let hook_released = Arc::clone(&released);
+    let stalled_once = AtomicBool::new(false);
+    let sweep_hook: threaded::SweepHook = Arc::new(move |proc, _sweep, voted| {
+        if proc.0 == 3 && voted && !stalled_once.swap(true, Ordering::SeqCst) {
+            let t0 = Instant::now();
+            while !hook_released.load(Ordering::SeqCst) && t0.elapsed() < Duration::from_secs(10) {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    });
+    let cb_released = Arc::clone(&released);
+    let cb_reported = Arc::clone(&reported);
+    let on_report: threaded::ReportHook = Arc::new(move |report| {
+        cb_reported.lock().unwrap().push(report.clone());
+        if report.reason == HealthReason::Stall {
+            // Let the wedged worker go as soon as the stall is on record.
+            cb_released.store(true, Ordering::SeqCst);
+        }
+    });
+
+    let run = threaded::run_concurrent_collection_observed(
+        sys.into_procs(),
+        watchdog_cfg(),
+        ThreadedOptions {
+            sweep_hook: Some(sweep_hook),
+            on_report: Some(on_report),
+            deadline: Duration::from_secs(30),
+            ..ThreadedOptions::default()
+        },
+    );
+
+    assert!(run.stats.quiescent(), "run must still end via quiescence");
+    let stall = run
+        .health
+        .iter()
+        .find(|r| r.reason == HealthReason::Stall)
+        .expect("watchdog emitted a stall report");
+    assert_eq!(
+        stall.stalled(),
+        vec![acdgc::model::ProcId(3)],
+        "exactly the wedged worker is flagged"
+    );
+    let w3 = stall
+        .workers
+        .iter()
+        .find(|w| w.proc.0 == 3)
+        .expect("report covers every worker");
+    assert_eq!(w3.stage, WorkerStage::Voted);
+    assert!(w3.voted);
+    assert!(
+        w3.pending_tail.iter().any(|(_, e)| e.kind() == "vote_cast"),
+        "the unflushed VoteCast must be visible in the pending tail: {:?}",
+        w3.pending_tail
+    );
+    // The live callback saw the same reports the run returned.
+    assert_eq!(reported.lock().unwrap().len(), run.health.len());
+    // The rendering names the stall and the pending event kind.
+    let text = stall.render();
+    assert!(text.contains("STALLED"), "{text}");
+    assert!(text.contains("vote_cast"), "{text}");
+
+    // Terminal report: quiescent, nobody stalled, tails flushed.
+    let terminal = run.health.last().unwrap();
+    assert_eq!(terminal.reason, HealthReason::Quiescent);
+    assert!(terminal.stalled().is_empty());
+    assert_eq!(terminal.pending_events(), 0);
+    assert!(terminal
+        .workers
+        .iter()
+        .all(|w| w.stage == WorkerStage::Done));
+    // After the join every process lock is free: ledgers are all present.
+    assert!(terminal.workers.iter().all(|w| w.ledger.is_some()));
+}
+
+/// std Mutex wrapper so the test does not depend on parking_lot's
+/// re-exports (the report callback runs on the monitor thread).
+fn parking_lot_free_reports() -> std::sync::Mutex<Vec<acdgc::obs::HealthReport>> {
+    std::sync::Mutex::new(Vec::new())
+}
+
+#[test]
+fn deadline_backstop_produces_a_deadline_report() {
+    // quiet_sweeps too high to ever vote: the run must end via the
+    // deadline, and the terminal report must say so.
+    let cfg = GcConfig {
+        quiet_sweeps: u32::MAX,
+        ..watchdog_cfg()
+    };
+    let sys = System::new(2, cfg.clone(), NetConfig::instant(), 1);
+    let run = threaded::run_concurrent_collection_observed(
+        sys.into_procs(),
+        cfg,
+        ThreadedOptions {
+            deadline: Duration::from_millis(100),
+            ..ThreadedOptions::default()
+        },
+    );
+    assert!(!run.stats.quiescent());
+    let terminal = run.health.last().expect("terminal report");
+    assert_eq!(terminal.reason, HealthReason::Deadline);
+    assert!(terminal
+        .workers
+        .iter()
+        .all(|w| w.stage == WorkerStage::Done));
+}
+
+#[test]
+fn healthy_run_emits_exactly_one_quiescent_report() {
+    let sys = System::new(3, watchdog_cfg(), NetConfig::instant(), 2);
+    let run = threaded::run_concurrent_collection_observed(
+        sys.into_procs(),
+        watchdog_cfg(),
+        ThreadedOptions::default(),
+    );
+    assert!(run.stats.quiescent());
+    assert_eq!(run.health.len(), 1, "no stalls: terminal report only");
+    assert_eq!(run.health[0].reason, HealthReason::Quiescent);
+    // Round trip through the JSONL form.
+    let v = run.health[0].to_json();
+    let back = acdgc::obs::HealthReport::from_json(&v).expect("health report round-trips");
+    assert_eq!(back.reason, HealthReason::Quiescent);
+    assert_eq!(back.workers.len(), 3);
+}
+
+#[test]
+fn watchdog_can_be_disabled() {
+    let cfg = GcConfig {
+        watchdog: WatchdogConfig {
+            enabled: false,
+            ..WatchdogConfig::default()
+        },
+        ..watchdog_cfg()
+    };
+    let sys = System::new(2, cfg.clone(), NetConfig::instant(), 3);
+    let run = threaded::run_concurrent_collection_observed(
+        sys.into_procs(),
+        cfg,
+        ThreadedOptions::default(),
+    );
+    assert!(run.stats.quiescent());
+    assert!(run.health.is_empty(), "disabled watchdog reports nothing");
+}
+
+#[test]
+fn prometheus_exposition_covers_metrics_and_phases() {
+    use acdgc::model::ProcId;
+    use acdgc::sim::scenarios;
+    let mut sys = System::new(
+        4,
+        GcConfig {
+            trace: TraceConfig::on(),
+            ..GcConfig::manual()
+        },
+        NetConfig::instant(),
+        9,
+    );
+    let fig = scenarios::fig3(&mut sys);
+    sys.remove_root(fig.a).unwrap();
+    sys.collect_to_fixpoint(20);
+    assert_eq!(sys.total_live_objects(), 0);
+
+    let text = sys.to_prometheus();
+    assert!(
+        text.contains("# TYPE acdgc_lgc_runs_total counter"),
+        "{text}"
+    );
+    assert!(text.contains("# TYPE acdgc_cycles_detected_total counter"));
+    assert!(text.contains("# TYPE acdgc_max_cdm_bytes gauge"));
+    assert!(
+        text.contains("# TYPE acdgc_phase_duration_nanoseconds histogram"),
+        "phase histograms present when tracing is on"
+    );
+    assert!(text.contains("acdgc_phase_duration_nanoseconds_bucket{phase="));
+    assert!(text.contains("le=\"+Inf\""));
+    // Spot-check one counter value against the ledger.
+    assert!(text.contains(&format!(
+        "acdgc_cycles_detected_total {}",
+        sys.metrics.cycles_detected
+    )));
+    let _ = sys.metrics_for(ProcId(0));
+}

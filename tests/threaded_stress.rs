@@ -13,8 +13,8 @@
 //! uses this to gate the JSONL schema.
 
 use acdgc::model::{GcConfig, NetConfig, ProcId, SimDuration, TraceConfig};
-use acdgc::obs::Trace;
-use acdgc::sim::{scenarios, threaded, Process, System};
+use acdgc::obs::{HealthReport, Trace};
+use acdgc::sim::{scenarios, threaded, Process, System, ThreadedOptions};
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::time::Duration;
@@ -36,22 +36,33 @@ fn stress_cfg(channel_capacity: usize) -> GcConfig {
 /// Dump the merged trace of `procs` under `name` and return the path.
 /// Artifacts go to `$ACDGC_TRACE_ARTIFACT` when set, else to
 /// `target/trace-artifacts/`.
-fn dump_trace(procs: &[Process], name: &str) -> PathBuf {
+fn dump_trace(procs: &[Process], health: &[HealthReport], name: &str) -> PathBuf {
     let dir = std::env::var_os("ACDGC_TRACE_ARTIFACT")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("target").join("trace-artifacts"));
     let path = dir.join(format!("{name}.jsonl"));
     let trace = Trace::collect(procs.iter().map(|p| &p.obs));
     trace.dump_jsonl(&path).expect("write trace artifact");
+    // Watchdog health reports ride in the same artifact so `acdgc-report`
+    // can render run health next to the event timeline.
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .expect("reopen trace artifact");
+    for report in health {
+        let line = serde_json::to_string(&report.to_json()).expect("serialize health report");
+        writeln!(f, "{line}").expect("append health report");
+    }
     path
 }
 
 /// Assert `cond`; on failure dump the trace first so the panic message
 /// carries the artifact path.
 macro_rules! check {
-    ($procs:expr, $name:expr, $cond:expr, $($msg:tt)+) => {
+    ($run:expr, $name:expr, $cond:expr, $($msg:tt)+) => {
         if !$cond {
-            let path = dump_trace(&$procs, $name);
+            let path = dump_trace(&$run.procs, &$run.health, $name);
             panic!("{} — trace kept at {}", format!($($msg)+), path.display());
         }
     };
@@ -59,11 +70,11 @@ macro_rules! check {
 
 /// When `ACDGC_TRACE_ARTIFACT` is set, export the trace on success too and
 /// verify the JSONL schema round-trips through the JSON parser.
-fn export_and_verify_jsonl(procs: &[Process], name: &str) {
+fn export_and_verify_jsonl(procs: &[Process], health: &[HealthReport], name: &str) {
     if std::env::var_os("ACDGC_TRACE_ARTIFACT").is_none() {
         return;
     }
-    let path = dump_trace(procs, name);
+    let path = dump_trace(procs, health, name);
     let text = std::fs::read_to_string(&path).expect("read back trace artifact");
     let mut lines = 0usize;
     for line in text.lines() {
@@ -115,17 +126,21 @@ fn capacity_one_mesh_collects_despite_overflow_and_faults() {
         gc_duplicate_probability: 0.05,
         ..NetConfig::instant()
     };
-    let (procs, stats) = threaded::run_concurrent_collection_with_faults(
+    let run = threaded::run_concurrent_collection_observed(
         sys.into_procs(),
         stress_cfg(1),
-        net,
-        7,
-        Duration::from_secs(60),
+        ThreadedOptions {
+            net,
+            seed: 7,
+            deadline: Duration::from_secs(60),
+            ..ThreadedOptions::default()
+        },
     );
+    let stats = &run.stats;
     let name = "capacity_one_mesh";
-    let live: usize = procs.iter().map(|p| p.heap.stats().live_objects).sum();
+    let live: usize = run.procs.iter().map(|p| p.heap.stats().live_objects).sum();
     check!(
-        procs,
+        run,
         name,
         live == 0,
         "all garbage reclaimed despite capacity-1 inboxes: live={live} cdms_dropped={} nss_dropped={}",
@@ -133,25 +148,29 @@ fn capacity_one_mesh_collects_despite_overflow_and_faults() {
         stats.nss_dropped.load(Ordering::Relaxed)
     );
     check!(
-        procs,
+        run,
         name,
         stats.quiescent(),
         "run must end via quiescence votes, not the deadline backstop"
     );
     // The point of the stress: losses really happened and were absorbed.
     check!(
-        procs,
+        run,
         name,
         stats.nss_dropped.load(Ordering::Relaxed) > 0,
         "capacity-1 inboxes under an 8-proc NSS barrage must overflow"
     );
     check!(
-        procs,
+        run,
         name,
         stats.cdms_dropped.load(Ordering::Relaxed) > 0,
         "15% injected drop over ring-spanning CDM walks must lose some"
     );
-    export_and_verify_jsonl(&procs, name);
+    // The watchdog always closes a run with one terminal report.
+    let terminal = run.health.last().expect("terminal health report");
+    assert_eq!(terminal.reason, acdgc::obs::HealthReason::Quiescent);
+    assert!(terminal.stalled().is_empty(), "no worker stalled");
+    export_and_verify_jsonl(&run.procs, &run.health, name);
 }
 
 #[test]
@@ -166,30 +185,34 @@ fn quiescence_is_never_premature_across_seed_matrix() {
             gc_duplicate_probability: 0.1,
             ..NetConfig::instant()
         };
-        let (procs, stats) = threaded::run_concurrent_collection_with_faults(
+        let run = threaded::run_concurrent_collection_observed(
             sys.into_procs(),
             stress_cfg(1),
-            net,
-            seed,
-            Duration::from_secs(60),
+            ThreadedOptions {
+                net,
+                seed,
+                deadline: Duration::from_secs(60),
+                ..ThreadedOptions::default()
+            },
         );
+        let stats = &run.stats;
         let name = format!("seed_matrix_{seed}");
-        let live: usize = procs.iter().map(|p| p.heap.stats().live_objects).sum();
+        let live: usize = run.procs.iter().map(|p| p.heap.stats().live_objects).sum();
         check!(
-            procs,
+            run,
             &name,
             stats.quiescent(),
             "seed {seed}: heavy loss may delay quiescence but must not prevent it"
         );
         check!(
-            procs,
+            run,
             &name,
             live == 0,
             "seed {seed}: quiescence declared with {live}/{expected} objects \
              still uncollected — the vote fired before drop-delayed work finished"
         );
         check!(
-            procs,
+            run,
             &name,
             stats.votes_cast.load(Ordering::Relaxed) >= 8,
             "seed {seed}: a quiescent stop needs every worker's vote"
@@ -197,7 +220,7 @@ fn quiescence_is_never_premature_across_seed_matrix() {
         total_retries += stats.nss_retries.load(Ordering::Relaxed);
         total_faults += stats.faults_injected.load(Ordering::Relaxed);
         if seed == 11 {
-            export_and_verify_jsonl(&procs, &name);
+            export_and_verify_jsonl(&run.procs, &run.health, &name);
         }
     }
     // Across the whole matrix the fault model must actually have fired and

@@ -166,6 +166,58 @@ fn tiny_ring_capacity_truncates_and_reports() {
     );
 }
 
+#[test]
+fn filtered_trace_suppresses_families_but_histograms_still_feed() {
+    let cfg = GcConfig {
+        trace: TraceConfig {
+            enabled: true,
+            filter: TraceFilter {
+                detections: true,
+                nss: false,
+                phases: false,
+                quiescence: false,
+            },
+            ..TraceConfig::on()
+        },
+        ..GcConfig::manual()
+    };
+    let (mut sys, fig) = fig4_prepared(cfg);
+    sys.initiate_detection(fig.p2, fig.r_df);
+    sys.drain_network();
+    sys.collect_to_fixpoint(25);
+
+    let trace = sys.trace();
+    // Suppressed families never reach the ring...
+    assert!(
+        trace.events.iter().all(|r| !matches!(
+            r.event,
+            Event::NssSent { .. }
+                | Event::NssApplied { .. }
+                | Event::NssAcked { .. }
+                | Event::PhaseStarted { .. }
+                | Event::PhaseEnded { .. }
+                | Event::VoteCast { .. }
+                | Event::VoteRescinded { .. }
+        )),
+        "filtered families must be suppressed before entering the ring"
+    );
+    // ...while the detections family passes whole: balanced paths and the
+    // cycle verdict are still fully reconstructable.
+    let cycles = trace.detected_cycles();
+    assert!(!cycles.is_empty(), "detections family still records");
+    for id in trace.detection_ids() {
+        assert_balanced(&trace, id, "filtered fig4");
+    }
+    // Phase histograms sit beside the ring and keep feeding even though
+    // PhaseStarted/PhaseEnded events were filtered out.
+    let phases = trace.merged_phases();
+    assert!(
+        phases.total_count() > 0,
+        "phase histograms must keep feeding under an event filter"
+    );
+    assert!(phases.get(acdgc::obs::Phase::CdmHandling).count() >= 1);
+}
+
 // -------------------------------------------------------------------------
 // Satellite: per-process metrics attribution.
 // -------------------------------------------------------------------------
