@@ -1,0 +1,67 @@
+//! Whole-round wall clock of [`System::gc_round`] as the process count
+//! grows, with the parallel compute phases (LGC, snapshot, candidate scan)
+//! on and off.
+//!
+//! The workload is a live anchored ring (every process holds a local chain
+//! plus one cross-process reference), so repeated rounds are steady-state:
+//! LGC traces but frees nothing, snapshots re-summarize the same graph,
+//! scans re-examine the same scions. The parity test in
+//! `tests/integration_modes.rs` proves both settings produce bit-identical
+//! metrics; this bench measures what the fan-out buys in wall clock. On a
+//! single-core host the vendored rayon stand-in degenerates to the
+//! sequential loop, so both series coincide there by construction.
+
+use acdgc_bench::bench_system;
+use acdgc_model::ProcId;
+use acdgc_sim::{scenarios, System};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Objects per process: large enough that per-process LGC + summarization
+/// dominates the round over the sequential apply stages.
+const OBJS_PER_PROC: usize = 4_000;
+
+fn steady_state_system(procs: usize, parallel: bool) -> System {
+    let mut sys = bench_system(procs, 7);
+    sys.config_mut().parallel_snapshots = parallel;
+    sys.config_mut().parallel_gc_phases = parallel;
+    if procs >= 2 {
+        let ids: Vec<ProcId> = (0..procs as u16).map(ProcId).collect();
+        scenarios::ring(&mut sys, &ids, OBJS_PER_PROC, true);
+    } else {
+        // Single process: a rooted local chain (no remote refs possible).
+        let chain: Vec<_> = (0..OBJS_PER_PROC)
+            .map(|_| sys.alloc(ProcId(0), 1))
+            .collect();
+        for pair in chain.windows(2) {
+            sys.add_local_ref(pair[0], pair[1]).unwrap();
+        }
+        sys.add_root(chain[0]).unwrap();
+    }
+    // Settle: first round pays one-time allocation of summarizer scratch.
+    sys.gc_round();
+    sys
+}
+
+fn bench_gc_round(c: &mut Criterion) {
+    let smoke = std::env::var_os("ACDGC_BENCH_SMOKE").is_some();
+    let mut group = c.benchmark_group("gc_round");
+    group.sample_size(if smoke { 2 } else { 10 });
+    let counts: &[usize] = if smoke { &[2] } else { &[1, 2, 4, 8] };
+    for &procs in counts {
+        for parallel in [false, true] {
+            let label = if parallel { "parallel" } else { "sequential" };
+            let mut sys = steady_state_system(procs, parallel);
+            group.bench_with_input(BenchmarkId::new(label, procs), &procs, |b, _| {
+                b.iter(|| {
+                    sys.gc_round();
+                    black_box(sys.metrics.snapshots)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gc_round);
+criterion_main!(benches);

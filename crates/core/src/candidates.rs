@@ -57,6 +57,15 @@ pub struct CandidateScan {
     pub deferred: usize,
 }
 
+impl CandidateScan {
+    /// Whether this scan leaves detection work outstanding — scions picked
+    /// now, or eligible scions throttled into a later scan. Quiescence
+    /// detectors must treat either as activity.
+    pub fn work_pending(&self) -> bool {
+        !self.picked.is_empty() || self.deferred > 0
+    }
+}
+
 /// Pick scions worth starting a detection from, most-stale first:
 ///
 /// * not locally reachable (a reachable target is trivially live),

@@ -10,6 +10,10 @@ pub struct HeapStats {
     pub allocated_total: u64,
     pub freed_total: u64,
     pub live_objects: usize,
+    /// Reference fields held by live objects (local and remote edges).
+    /// Summarizer cost models read this in O(1) instead of walking the
+    /// heap to estimate E.
+    pub ref_fields: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -87,6 +91,7 @@ impl Heap {
         self.free.push(slot);
         self.stats.freed_total += 1;
         self.stats.live_objects -= 1;
+        self.stats.ref_fields -= record.refs.len() as u64;
         Some(record)
     }
 
@@ -165,6 +170,7 @@ impl Heap {
             }
         }
         self.get_mut(from)?.refs.push(to);
+        self.stats.ref_fields += 1;
         Ok(())
     }
 
@@ -174,6 +180,7 @@ impl Heap {
         match record.refs.iter().position(|&r| r == to) {
             Some(pos) => {
                 record.refs.swap_remove(pos);
+                self.stats.ref_fields -= 1;
                 Ok(())
             }
             None => Err(ModelError::MissingReference),

@@ -97,6 +97,18 @@ pub struct MarkResult {
     pub live_stubs: FxHashSet<RefId>,
 }
 
+impl MarkResult {
+    /// Filter a stub-table iteration down to the stubs this mark did *not*
+    /// reach — the ones the integration mode must remove (`VmIntegrated`)
+    /// or condemn (`WeakRefMonitor`). Input order is preserved.
+    pub fn dead_stubs_among(&self, stubs: impl IntoIterator<Item = RefId>) -> Vec<RefId> {
+        stubs
+            .into_iter()
+            .filter(|r| !self.live_stubs.contains(r))
+            .collect()
+    }
+}
+
 /// Mark phase: trace from roots, then extend with the scion targets.
 pub fn mark(heap: &Heap, scion_targets: &[Slot]) -> MarkResult {
     let from_roots = closure(heap, heap.roots());

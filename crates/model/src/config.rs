@@ -33,6 +33,17 @@ pub enum SummarizerKind {
     /// scion — O(S·(V + E)). Kept as the reference oracle and for
     /// ablation-style comparisons.
     Reference,
+    /// Per-snapshot cost-model dispatch between the two: cheap graph
+    /// statistics (scion count S, stub universe width W, live objects V,
+    /// reference-field count E — all maintained incrementally, read in
+    /// O(1)) pick the reference BFS when S is small enough that per-scion
+    /// traversal undercuts a whole-heap condensation, and the engine
+    /// otherwise. The engine run additionally inherits reachable-stub
+    /// sets by reference along out-degree ≤ 1 condensation chains instead
+    /// of OR-ing full-width bitsets, which removes the engine's only
+    /// losing case (many fully disjoint scion chains). Output is exactly
+    /// equal to both on every input.
+    Adaptive,
 }
 
 /// Which event families a trace records. Defaults to everything; narrowing
@@ -218,6 +229,14 @@ pub struct GcConfig {
     /// state; the published summaries are identical to the sequential
     /// order's, so simulation results stay deterministic.
     pub parallel_snapshots: bool,
+    /// Run the LGC and candidate-scan stages of a GC round over all
+    /// processes in parallel too. Each stage is split into a pure
+    /// per-process compute step (closure tracing, sweeping, dead-stub
+    /// discovery, candidate picking) that fans out across threads, and a
+    /// sequential apply step (metrics, network sends, detection
+    /// initiation) executed in process-index order — so metrics ledgers
+    /// and simulation results are bit-identical with this flag on or off.
+    pub parallel_gc_phases: bool,
     /// Capacity of each inter-process channel in the threaded runtime.
     /// A full channel drops the (loss-tolerant) GC message rather than
     /// blocking a worker that may hold its own process lock; drops are
@@ -259,8 +278,9 @@ impl Default for GcConfig {
             nongrowth_slack: 8,
             eager_combine: false,
             instrument_remoting: true,
-            summarizer: SummarizerKind::SccEngine,
+            summarizer: SummarizerKind::Adaptive,
             parallel_snapshots: true,
+            parallel_gc_phases: true,
             channel_capacity: 1_024,
             quiet_sweeps: 16,
             nss_retry_sweeps: 8,

@@ -92,6 +92,13 @@ impl Process {
                 now,
                 &mut self.obs,
             ),
+            SummarizerKind::Adaptive => self.engine.summarize_adaptive_observed(
+                &self.heap,
+                &self.tables,
+                version,
+                now,
+                &mut self.obs,
+            ),
         };
         self.candidates.retain_known(&self.summary);
     }

@@ -8,12 +8,13 @@ use acdgc_dcda::{Cdm, Outcome, TerminateReason};
 use acdgc_heap::{lgc, HeapRef};
 use acdgc_model::{
     GcConfig, IdAllocator, IntegrationMode, ModelError, NetConfig, ObjId, ProcId, RefId,
-    SimDuration, SimTime,
+    SimDuration, SimTime, Slot,
 };
 use acdgc_net::{Envelope, MessageClass, NetStats, Network};
 use acdgc_obs::{Event, Phase, Trace};
 use acdgc_remoting::{
-    apply_new_set_stubs_observed, build_new_set_stubs, ExportedRef, InvokePayload, ReplyPayload,
+    apply_new_set_stubs_observed, build_new_set_stubs, ExportedRef, InvokePayload, NewSetStubs,
+    ReplyPayload,
 };
 use rayon::prelude::*;
 use rustc_hash::FxHashSet;
@@ -477,80 +478,103 @@ impl System {
     pub fn run_lgc(&mut self, p: ProcId) {
         let now = self.clock;
         let oracle_live = self.check_safety.then(|| oracle::global_live(&*self));
+        let num_procs = self.procs.len();
+        let work = lgc_compute(
+            &mut self.procs[p.index()],
+            &self.cfg,
+            num_procs,
+            now,
+            oracle_live.as_ref(),
+        );
+        self.lgc_apply(p, work, oracle_live.as_ref());
+    }
 
-        let proc = &mut self.procs[p.index()];
-        let targets = proc.tables.scion_target_slots();
-        let result = lgc::collect_observed(&mut proc.heap, &targets, now, &mut proc.obs);
-        let freed = result.sweep.freed.len() as u64;
+    /// Run one local collection at *every* process. The compute stage
+    /// ([`lgc_compute`]) touches only process-local state, so with
+    /// `parallel_gc_phases` it fans out across threads; the apply stage
+    /// ([`Self::lgc_apply`]) consumes shared state (metrics ledgers, the
+    /// seeded network RNG) and runs sequentially in process-index order —
+    /// the exact order the sequential path produces, so simulation results
+    /// and metrics are bit-identical with parallelism on or off.
+    ///
+    /// One oracle serves the whole sweep: a sound LGC frees only
+    /// globally-unreachable objects, and dead-stub handling only touches
+    /// stubs held by dead objects, so the global live set is invariant
+    /// across the per-process collections.
+    pub fn lgc_all(&mut self) {
+        let now = self.clock;
+        let oracle_live = self.check_safety.then(|| oracle::global_live(&*self));
+        let num_procs = self.procs.len();
+        let works: Vec<LgcWork> = {
+            let cfg = &self.cfg;
+            let live = oracle_live.as_ref();
+            if cfg.parallel_gc_phases && num_procs > 1 {
+                self.procs
+                    .par_iter_mut()
+                    .map(|proc| lgc_compute(proc, cfg, num_procs, now, live))
+            } else {
+                self.procs
+                    .iter_mut()
+                    .map(|proc| lgc_compute(proc, cfg, num_procs, now, live))
+                    .collect()
+            }
+        };
+        for (i, work) in works.into_iter().enumerate() {
+            self.lgc_apply(ProcId(i as u16), work, oracle_live.as_ref());
+        }
+    }
+
+    /// Apply stage of a local collection: merged/per-process counters, the
+    /// safety-audit dump, and the `NewSetStubs` sends. Every effect here
+    /// reaches shared state, so callers invoke it sequentially in
+    /// process-index order.
+    fn lgc_apply(&mut self, p: ProcId, work: LgcWork, oracle_live: Option<&FxHashSet<ObjId>>) {
+        let now = self.clock;
+        let LgcWork {
+            freed,
+            unsafe_freed,
+            targets,
+            nss,
+        } = work;
         self.bump(p, |m| {
             m.lgc_runs += 1;
             m.objects_reclaimed += freed;
         });
-        if let Some(live) = &oracle_live {
-            for freed in &result.sweep.freed {
-                if live.contains(freed) {
-                    self.bump(p, |m| m.unsafe_frees += 1);
-                    if std::env::var_os("ACDGC_DEBUG_UNSAFE").is_some() {
-                        eprintln!("UNSAFE FREE at {p}: {freed:?}; scion targets were {targets:?}");
-                        for q in &self.procs {
-                            for stub in q.tables.stubs() {
-                                if stub.target == *freed {
-                                    eprintln!(
-                                        "  stub at {}: {:?} pair {:?} condemned={}",
-                                        q.proc(),
-                                        stub.ref_id,
-                                        stub.target,
-                                        stub.condemned
-                                    );
-                                }
-                            }
-                            for (slot, rec) in q.heap.iter() {
-                                for r in rec.remote_refs() {
-                                    if q.tables.stub(r).map(|s| s.target) == Some(*freed) {
-                                        eprintln!(
-                                            "  held by {:?}#{} via {:?} (holder live={})",
-                                            q.proc(),
-                                            slot,
-                                            r,
-                                            live.contains(&q.heap.id_of_slot(slot).unwrap())
-                                        );
-                                    }
-                                }
+        for freed in &unsafe_freed {
+            self.bump(p, |m| m.unsafe_frees += 1);
+            if std::env::var_os("ACDGC_DEBUG_UNSAFE").is_some() {
+                eprintln!("UNSAFE FREE at {p}: {freed:?}; scion targets were {targets:?}");
+                let live = oracle_live.expect("unsafe frees imply an oracle was computed");
+                for q in &self.procs {
+                    for stub in q.tables.stubs() {
+                        if stub.target == *freed {
+                            eprintln!(
+                                "  stub at {}: {:?} pair {:?} condemned={}",
+                                q.proc(),
+                                stub.ref_id,
+                                stub.target,
+                                stub.condemned
+                            );
+                        }
+                    }
+                    for (slot, rec) in q.heap.iter() {
+                        for r in rec.remote_refs() {
+                            if q.tables.stub(r).map(|s| s.target) == Some(*freed) {
+                                eprintln!(
+                                    "  held by {:?}#{} via {:?} (holder live={})",
+                                    q.proc(),
+                                    slot,
+                                    r,
+                                    live.contains(&q.heap.id_of_slot(slot).unwrap())
+                                );
                             }
                         }
                     }
                 }
             }
         }
-
-        // Stub-death handling per integration mode.
-        let proc = &mut self.procs[p.index()];
-        let dead: Vec<RefId> = proc
-            .tables
-            .stubs()
-            .filter(|s| !result.mark.live_stubs.contains(&s.ref_id))
-            .map(|s| s.ref_id)
-            .collect();
-        match self.cfg.integration {
-            IntegrationMode::VmIntegrated => {
-                proc.tables.remove_dead_stubs(&dead);
-            }
-            IntegrationMode::WeakRefMonitor => {
-                proc.tables.condemn_stubs(&dead);
-                for &live_ref in &result.mark.live_stubs {
-                    proc.tables.pardon_stub(live_ref);
-                }
-            }
-        }
-
-        // Reference listing: announce the surviving stub sets.
-        let peers: Vec<ProcId> = (0..self.procs.len() as u16)
-            .map(ProcId)
-            .filter(|&q| q != p)
-            .collect();
-        let msgs = build_new_set_stubs(&mut self.procs[p.index()].tables, &peers, now);
-        for (dest, m) in msgs {
-            self.bump(p, |m| m.nss_sent += 1);
+        for (dest, m) in nss {
+            self.bump(p, |mm| mm.nss_sent += 1);
             self.procs[p.index()].obs.record(
                 now,
                 Event::NssSent {
@@ -625,21 +649,22 @@ impl System {
     pub fn snapshot_all(&mut self) {
         let now = self.clock;
         let kind = self.cfg.summarizer;
-        if self.cfg.parallel_snapshots && self.procs.len() > 1 {
-            self.procs
-                .par_iter_mut()
-                .for_each(|proc| proc.refresh_summary(kind, now));
-        } else {
-            for proc in &mut self.procs {
-                proc.refresh_summary(kind, now);
-            }
-        }
-        for i in 0..self.procs.len() {
-            let proc = &self.procs[i];
-            let (scions, stubs) = (
+        let refresh = |proc: &mut Process| {
+            proc.refresh_summary(kind, now);
+            (
                 proc.summary.scions.len() as u64,
                 proc.summary.stubs.len() as u64,
-            );
+            )
+        };
+        // Summary sizes come back with each compute result instead of
+        // being re-read through `self.procs` afterwards; one sequential
+        // fold attributes them.
+        let counts: Vec<(u64, u64)> = if self.cfg.parallel_snapshots && self.procs.len() > 1 {
+            self.procs.par_iter_mut().map(refresh)
+        } else {
+            self.procs.iter_mut().map(refresh).collect()
+        };
+        for (i, (scions, stubs)) in counts.into_iter().enumerate() {
             self.bump(ProcId(i as u16), |m| {
                 m.snapshots += 1;
                 m.summary_scions += scions;
@@ -654,6 +679,34 @@ impl System {
         let picked = self.procs[p.index()].scan(now, &self.cfg).picked;
         for scion in picked {
             self.initiate_detection(p, scion);
+        }
+    }
+
+    /// Candidate scan at every process, then detection initiations. The
+    /// scan reads only process-local state (the published summary plus the
+    /// process's heuristic ledger), so under `parallel_gc_phases` it fans
+    /// out across threads; initiation consumes shared state (the detection
+    /// id allocator, the seeded network) and runs sequentially in
+    /// process-index order — bit-identical with parallelism on or off.
+    pub fn scan_all(&mut self) {
+        let now = self.clock;
+        let picked: Vec<Vec<RefId>> = {
+            let cfg = &self.cfg;
+            if cfg.parallel_gc_phases && self.procs.len() > 1 {
+                self.procs
+                    .par_iter_mut()
+                    .map(|proc| proc.scan(now, cfg).picked)
+            } else {
+                self.procs
+                    .iter_mut()
+                    .map(|proc| proc.scan(now, cfg).picked)
+                    .collect()
+            }
+        };
+        for (i, scions) in picked.into_iter().enumerate() {
+            for scion in scions {
+                self.initiate_detection(ProcId(i as u16), scion);
+            }
         }
     }
 
@@ -1089,18 +1142,14 @@ impl System {
     /// `NewSetStubs` horizons see previously created scions.
     pub fn gc_round(&mut self) {
         self.advance(SimDuration::from_millis(1));
-        for i in 0..self.procs.len() {
-            self.run_lgc(ProcId(i as u16));
-        }
+        self.lgc_all();
         self.drain_network();
         for i in 0..self.procs.len() {
             self.run_monitor(ProcId(i as u16));
         }
         self.drain_network();
         self.snapshot_all();
-        for i in 0..self.procs.len() {
-            self.run_scan(ProcId(i as u16));
-        }
+        self.scan_all();
         self.drain_network();
     }
 
@@ -1191,6 +1240,78 @@ impl System {
             "drain the network before extracting processes"
         );
         self.procs
+    }
+}
+
+/// Everything one local collection produces *before* any shared state is
+/// touched: [`lgc_compute`] fills it (possibly on a worker thread),
+/// [`System::lgc_apply`] drains it on the simulation thread.
+struct LgcWork {
+    /// Objects reclaimed by the sweep.
+    freed: u64,
+    /// Freed handles the oracle considered live — the safety audit; empty
+    /// in safe configurations and when `check_safety` is off.
+    unsafe_freed: Vec<ObjId>,
+    /// Scion-target slots at collection time, kept for the unsafe dump.
+    targets: Vec<Slot>,
+    /// Reference-listing messages built from the surviving stub table,
+    /// not yet sent.
+    nss: Vec<(ProcId, NewSetStubs)>,
+}
+
+/// Compute stage of a local collection at one process: trace + sweep the
+/// heap, audit against the oracle, handle stub death per integration mode,
+/// and build (but do not send) the `NewSetStubs` broadcast. Touches only
+/// `proc`, so many processes can run this concurrently.
+fn lgc_compute(
+    proc: &mut Process,
+    cfg: &GcConfig,
+    num_procs: usize,
+    now: SimTime,
+    oracle_live: Option<&FxHashSet<ObjId>>,
+) -> LgcWork {
+    let targets = proc.tables.scion_target_slots();
+    let result = lgc::collect_observed(&mut proc.heap, &targets, now, &mut proc.obs);
+    let freed = result.sweep.freed.len() as u64;
+    let unsafe_freed = match oracle_live {
+        Some(live) => result
+            .sweep
+            .freed
+            .iter()
+            .copied()
+            .filter(|f| live.contains(f))
+            .collect(),
+        None => Vec::new(),
+    };
+
+    // Stub-death handling per integration mode.
+    let dead = result
+        .mark
+        .dead_stubs_among(proc.tables.stubs().map(|s| s.ref_id));
+    match cfg.integration {
+        IntegrationMode::VmIntegrated => {
+            proc.tables.remove_dead_stubs(&dead);
+        }
+        IntegrationMode::WeakRefMonitor => {
+            proc.tables.condemn_stubs(&dead);
+            for &live_ref in &result.mark.live_stubs {
+                proc.tables.pardon_stub(live_ref);
+            }
+        }
+    }
+
+    // Reference listing: the surviving stub sets, one message per peer.
+    let p = proc.proc();
+    let peers: Vec<ProcId> = (0..num_procs as u16)
+        .map(ProcId)
+        .filter(|&q| q != p)
+        .collect();
+    let nss = build_new_set_stubs(&mut proc.tables, &peers, now);
+    LgcWork {
+        freed,
+        unsafe_freed,
+        targets,
+        nss,
     }
 }
 

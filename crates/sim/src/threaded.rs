@@ -1018,8 +1018,7 @@ impl WorkerCtx {
         // Deferred candidates are scheduled retries: quiescence now would
         // abandon them, and with message loss a retry may be the only
         // thing standing between a garbage cycle and a leak.
-        active |= scan.deferred > 0;
-        active |= !scan.picked.is_empty();
+        active |= scan.work_pending();
         for scion in scan.picked {
             let Some(s) = p.summary.scion(scion) else {
                 continue;

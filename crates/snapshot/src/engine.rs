@@ -24,6 +24,12 @@
 //!    [`BitSet`] — one bit per table stub — is the union of the stub bits
 //!    its members hold directly and the sets of its successor components.
 //!    Each union is a word-parallel OR — O(E·W/64) for a W-stub universe.
+//!    Sets live in a slot pool indexed through `reach_of`, which lets the
+//!    aliased propagation mode (see [`SccEngine::summarize_adaptive`])
+//!    make a component with no direct stubs and out-degree ≤ 1 *inherit*
+//!    its successor's pool slot in O(1) instead of copying a full-width
+//!    bitset — on disjoint scion chains the whole propagation collapses
+//!    to pointer assignments.
 //! 4. A scion's `StubsFrom` is then just its target component's bitset,
 //!    decoded; `ScionsTo` is the inversion — O(S·W/64 + output).
 //!
@@ -43,6 +49,54 @@ use acdgc_remoting::RemotingTables;
 use rustc_hash::FxHashMap;
 
 const UNVISITED: u32 = u32::MAX;
+
+/// Pool slot holding the canonical empty reachable-stub set.
+const EMPTY_SLOT: u32 = 0;
+
+/// Which implementation an adaptive summarization dispatched to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SummarizePath {
+    /// The paper's per-scion BFS ([`crate::summarize`]).
+    Reference,
+    /// The SCC-condensation engine with aliased propagation.
+    Engine,
+}
+
+/// What [`SccEngine::summarize_adaptive`] saw and decided on its last
+/// call; exposed for tests, benches and forensics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DispatchStats {
+    pub path: SummarizePath,
+    /// Scion count S at dispatch time.
+    pub scions: usize,
+    /// Stub universe width W at dispatch time.
+    pub stub_width: usize,
+    /// Live objects V at dispatch time.
+    pub live_objects: usize,
+    /// Reference fields E at dispatch time (from the heap's incremental
+    /// counter).
+    pub ref_fields: u64,
+    /// Components whose reachable-stub set was inherited by reference
+    /// (no direct stubs, out-degree ≤ 1) in the last engine-path run.
+    pub inherited_components: usize,
+    /// Components that materialized an owned bitset in the last
+    /// engine-path run.
+    pub unioned_components: usize,
+}
+
+impl Default for DispatchStats {
+    fn default() -> Self {
+        DispatchStats {
+            path: SummarizePath::Engine,
+            scions: 0,
+            stub_width: 0,
+            live_objects: 0,
+            ref_fields: 0,
+            inherited_components: 0,
+            unioned_components: 0,
+        }
+    }
+}
 
 /// Reusable single-pass summarizer. One engine per process; see the
 /// module docs for the algorithm.
@@ -64,14 +118,30 @@ pub struct SccEngine {
     comp_end: Vec<u32>,
     /// Component is reachable from a local root.
     comp_root: Vec<bool>,
-    /// Stub bits reachable from each component.
-    reach: Vec<BitSet>,
+    /// Pool slot holding component `c`'s reachable-stub set. Aliased
+    /// propagation maps many chain components to one shared slot;
+    /// [`EMPTY_SLOT`] is the shared empty set.
+    reach_of: Vec<u32>,
+    /// Bitset pool; `pool_len` slots are live for the current run, the
+    /// rest are retained allocations from earlier runs.
+    pool: Vec<BitSet>,
+    pool_len: usize,
+    /// Scratch: distinct successor components / direct stub bits of the
+    /// component being propagated.
+    succ_scratch: Vec<u32>,
+    direct_scratch: Vec<u32>,
     // --- stub universe ----------------------------------------------------
     /// Table stubs in ascending `RefId` order; position = bit index.
     stub_ids: Vec<RefId>,
     stub_bit: FxHashMap<RefId, u32>,
     /// Stubs held directly by root-reachable objects (`Local.Reach`).
     root_stub_bits: BitSet,
+    // --- adaptive dispatch -------------------------------------------------
+    dispatch: DispatchStats,
+    /// The retained condensation (`comp_of`/`reach_of`/`pool`/`stub_ids`)
+    /// reflects the heap as of the last engine-path run; false until the
+    /// first run and after a reference-path dispatch.
+    condensation_cached: bool,
 }
 
 impl SccEngine {
@@ -80,7 +150,9 @@ impl SccEngine {
     }
 
     /// Summarize the current heap + remoting state; output is identical to
-    /// [`crate::summarize`] on the same inputs.
+    /// [`crate::summarize`] on the same inputs. This is the full engine:
+    /// every component materializes its own bitset (the baseline the
+    /// aliased mode is benchmarked against).
     pub fn summarize(
         &mut self,
         heap: &Heap,
@@ -88,11 +160,96 @@ impl SccEngine {
         version: u64,
         taken_at: SimTime,
     ) -> SummarizedGraph {
+        self.run_engine(heap, tables, false);
+        self.build_summary(heap, tables, version, taken_at)
+    }
+
+    /// Engine run with aliased propagation: components with no direct
+    /// stubs and out-degree ≤ 1 inherit their successor's reach set by
+    /// reference. Identical output, strictly less bitset work; used by
+    /// the adaptive dispatch and the incremental summarizer's full
+    /// passes (it leaves the condensation cached for
+    /// [`SccEngine::cached_stubs_from`]).
+    pub fn summarize_condensed(
+        &mut self,
+        heap: &Heap,
+        tables: &RemotingTables,
+        version: u64,
+        taken_at: SimTime,
+    ) -> SummarizedGraph {
+        self.run_engine(heap, tables, true);
+        self.build_summary(heap, tables, version, taken_at)
+    }
+
+    fn run_engine(&mut self, heap: &Heap, tables: &RemotingTables, alias: bool) {
         self.prepare(heap.slot_upper_bound(), tables);
         self.run_tarjan(heap);
         self.mark_root_components(heap);
-        self.propagate_reach(heap);
-        self.build_summary(heap, tables, version, taken_at)
+        self.propagate_reach(heap, alias);
+        self.condensation_cached = true;
+    }
+
+    /// Dispatch between the reference BFS and the (aliased) engine from
+    /// O(1) graph statistics, then summarize. Output is exactly equal to
+    /// both on every input; only the cost differs. See
+    /// [`SccEngine::last_dispatch`] for what was decided and why.
+    ///
+    /// The model compares traversal upper bounds in visited-field units:
+    /// the reference pays one BFS per scion plus the root closure, each
+    /// bounded by the whole graph (V + E); the engine pays ~three linear
+    /// passes (Tarjan, root marking, propagation) plus a per-scion
+    /// W/64-word bitset decode. Small scion counts therefore go to the
+    /// reference — exactly the regime where per-scion traversal is
+    /// provably cheap — and everything else goes to the engine, whose
+    /// aliased propagation no longer loses on disjoint chains.
+    pub fn summarize_adaptive(
+        &mut self,
+        heap: &Heap,
+        tables: &RemotingTables,
+        version: u64,
+        taken_at: SimTime,
+    ) -> SummarizedGraph {
+        match self.choose_path(heap, tables) {
+            SummarizePath::Reference => {
+                self.condensation_cached = false;
+                crate::summary::summarize(heap, tables, version, taken_at)
+            }
+            SummarizePath::Engine => self.summarize_condensed(heap, tables, version, taken_at),
+        }
+    }
+
+    /// Pick the cheaper implementation for the current graph shape and
+    /// record the decision in [`SccEngine::last_dispatch`].
+    fn choose_path(&mut self, heap: &Heap, tables: &RemotingTables) -> SummarizePath {
+        let scions = tables.scion_count();
+        let stub_width = tables.stub_count();
+        let stats = heap.stats();
+        let graph = stats.live_objects as u64 + stats.ref_fields + 1;
+        let reference_cost = (scions as u64 + 1).saturating_mul(graph);
+        let engine_cost = 3u64.saturating_mul(graph)
+            + (scions as u64 + 1).saturating_mul(stub_width as u64 / 64 + 1);
+        let path = if reference_cost <= engine_cost {
+            SummarizePath::Reference
+        } else {
+            SummarizePath::Engine
+        };
+        self.dispatch = DispatchStats {
+            path,
+            scions,
+            stub_width,
+            live_objects: stats.live_objects,
+            ref_fields: stats.ref_fields,
+            inherited_components: 0,
+            unioned_components: 0,
+        };
+        path
+    }
+
+    /// The decision and statistics of the most recent
+    /// [`SccEngine::summarize_adaptive`] call (component counters are
+    /// also updated by direct engine runs).
+    pub fn last_dispatch(&self) -> DispatchStats {
+        self.dispatch
     }
 
     /// [`SccEngine::summarize`] bracketed by
@@ -110,6 +267,60 @@ impl SccEngine {
         let summary = self.summarize(heap, tables, version, taken_at);
         obs.end(taken_at, acdgc_obs::Phase::SummarizeEngine, started);
         summary
+    }
+
+    /// [`SccEngine::summarize_adaptive`] bracketed by the phase matching
+    /// the path actually taken ([`acdgc_obs::Phase::SummarizeReference`]
+    /// or [`acdgc_obs::Phase::SummarizeEngine`]), so traces attribute the
+    /// cost to the implementation that paid it.
+    pub fn summarize_adaptive_observed(
+        &mut self,
+        heap: &Heap,
+        tables: &RemotingTables,
+        version: u64,
+        taken_at: SimTime,
+        obs: &mut acdgc_obs::ProcTrace,
+    ) -> SummarizedGraph {
+        let path = self.choose_path(heap, tables);
+        let phase = match path {
+            SummarizePath::Reference => acdgc_obs::Phase::SummarizeReference,
+            SummarizePath::Engine => acdgc_obs::Phase::SummarizeEngine,
+        };
+        let started = obs.begin(taken_at, phase);
+        let summary = match path {
+            SummarizePath::Reference => {
+                self.condensation_cached = false;
+                crate::summary::summarize(heap, tables, version, taken_at)
+            }
+            SummarizePath::Engine => self.summarize_condensed(heap, tables, version, taken_at),
+        };
+        obs.end(taken_at, phase, started);
+        summary
+    }
+
+    /// Reachable table stubs cached for the object in `slot` by the last
+    /// engine-path run, decoded in ascending `RefId` order and filtered
+    /// against the *current* stub table. `None` when no condensation is
+    /// cached or the slot was not part of it (e.g. allocated since) —
+    /// callers must fall back to a traversal. Only valid while the heap
+    /// graph is unchanged since that run: stub additions always come with
+    /// a holder edge (a graph change), so filtering handles removals and
+    /// the caller's dirty tracking handles everything else.
+    pub fn cached_stubs_from(&self, slot: Slot, tables: &RemotingTables) -> Option<Vec<RefId>> {
+        if !self.condensation_cached {
+            return None;
+        }
+        let c = *self.comp_of.get(slot as usize)?;
+        if c == UNVISITED {
+            return None;
+        }
+        let set = &self.pool[self.reach_of[c as usize] as usize];
+        Some(
+            set.iter()
+                .map(|bit| self.stub_ids[bit])
+                .filter(|r| tables.stub(*r).is_some())
+                .collect(),
+        )
     }
 
     /// Reset all scratch (keeping allocations) and index the stub table.
@@ -259,44 +470,82 @@ impl SccEngine {
 
     /// Bottom-up reachable-stub propagation: ascending emission order is
     /// reverse topological order, so every successor component's set is
-    /// final when it is unioned in.
-    fn propagate_reach(&mut self, heap: &Heap) {
+    /// final when it is unioned in. Sets live in a pool addressed through
+    /// `reach_of`; with `alias` on, a component holding no stubs directly
+    /// and seeing at most one distinct successor component takes its
+    /// successor's pool slot instead of materializing a set — the chains
+    /// that dominate disjoint scion topologies then cost O(1) per
+    /// component instead of O(W/64).
+    fn propagate_reach(&mut self, heap: &Heap, alias: bool) {
         let num = self.comp_end.len();
-        while self.reach.len() < num {
-            self.reach.push(BitSet::default());
+        self.reach_of.clear();
+        if self.pool.is_empty() {
+            self.pool.push(BitSet::default());
         }
+        self.pool[EMPTY_SLOT as usize].clear();
+        self.pool_len = 1;
+        let mut inherited = 0usize;
+        let mut unioned = 0usize;
         for c in 0..num {
-            let (finished, rest) = self.reach.split_at_mut(c);
-            let current = &mut rest[0];
-            current.clear();
-            let start = if c == 0 {
-                0
-            } else {
-                self.comp_end[c - 1] as usize
-            };
-            for mi in start..self.comp_end[c] as usize {
+            self.succ_scratch.clear();
+            self.direct_scratch.clear();
+            for mi in self.comp_range(c) {
                 let v = self.members[mi];
                 let refs = &heap.get_slot(v).expect("member slot occupied").refs;
                 for &field in refs {
                     match field {
                         HeapRef::Local(w) => {
                             if heap.get_slot(w).is_some() {
-                                let cw = self.comp_of[w as usize] as usize;
-                                if cw != c {
-                                    debug_assert!(cw < c, "tarjan emission order violated");
-                                    current.union_with(&finished[cw]);
+                                let cw = self.comp_of[w as usize];
+                                if cw as usize != c {
+                                    debug_assert!(
+                                        (cw as usize) < c,
+                                        "tarjan emission order violated"
+                                    );
+                                    self.succ_scratch.push(cw);
                                 }
                             }
                         }
                         HeapRef::Remote(r) => {
                             if let Some(&bit) = self.stub_bit.get(&r) {
-                                current.insert(bit as usize);
+                                self.direct_scratch.push(bit);
                             }
                         }
                     }
                 }
             }
+            self.succ_scratch.sort_unstable();
+            self.succ_scratch.dedup();
+            let slot = if alias && self.direct_scratch.is_empty() && self.succ_scratch.len() <= 1 {
+                inherited += 1;
+                match self.succ_scratch.first() {
+                    Some(&cw) => self.reach_of[cw as usize],
+                    None => EMPTY_SLOT,
+                }
+            } else {
+                unioned += 1;
+                if self.pool_len == self.pool.len() {
+                    self.pool.push(BitSet::default());
+                }
+                let s = self.pool_len;
+                self.pool_len += 1;
+                let (finished, rest) = self.pool.split_at_mut(s);
+                let current = &mut rest[0];
+                current.clear();
+                for &bit in &self.direct_scratch {
+                    current.insert(bit as usize);
+                }
+                for &cw in &self.succ_scratch {
+                    let src = self.reach_of[cw as usize] as usize;
+                    debug_assert!(src < s, "successor slot allocated after its reader");
+                    current.union_with(&finished[src]);
+                }
+                s as u32
+            };
+            self.reach_of.push(slot);
         }
+        self.dispatch.inherited_components = inherited;
+        self.dispatch.unioned_components = unioned;
     }
 
     /// Decode the per-component facts into the summary form.
@@ -314,7 +563,7 @@ impl SccEngine {
             let (stubs_from, target_locally_reachable) = if heap.get_slot(slot).is_some() {
                 let c = self.comp_of[slot as usize] as usize;
                 let mut from = Vec::new();
-                for bit in self.reach[c].iter() {
+                for bit in self.pool[self.reach_of[c] as usize].iter() {
                     let r = self.stub_ids[bit];
                     from.push(r);
                     scions_to.entry(r).or_default().push(scion.ref_id);
@@ -576,5 +825,98 @@ mod tests {
         let s = engine.summarize(&heap, &tables, 1, SimTime(0));
         assert!(s.scions.is_empty());
         assert!(s.stubs.is_empty());
+    }
+
+    /// `chains` disjoint scion chains of `len` objects, each ending in a
+    /// stub — the all-out-degree-≤1 shape the aliased propagation targets.
+    fn chain_world(chains: usize, len: usize) -> (Heap, RemotingTables) {
+        let mut heap = Heap::new(ProcId(0));
+        let mut tables = RemotingTables::new(ProcId(0));
+        for chain in 0..chains {
+            let ids: Vec<ObjId> = (0..len).map(|_| heap.alloc(1)).collect();
+            for pair in ids.windows(2) {
+                heap.add_ref(pair[0], HeapRef::Local(pair[1].slot)).unwrap();
+            }
+            let stub = RefId((chains + chain) as u64);
+            tables.add_scion(RefId(chain as u64), ids[0], ProcId(1), SimTime(0));
+            tables.add_stub(stub, ObjId::new(ProcId(1), chain as u32, 0), SimTime(0));
+            heap.add_ref(*ids.last().unwrap(), HeapRef::Remote(stub))
+                .unwrap();
+        }
+        (heap, tables)
+    }
+
+    #[test]
+    fn aliased_propagation_matches_dense_and_inherits_chains() {
+        let (heap, tables) = chain_world(8, 25);
+        let mut dense = SccEngine::new();
+        let mut aliased = SccEngine::new();
+        let a = dense.summarize(&heap, &tables, 1, SimTime(0));
+        let b = aliased.summarize_condensed(&heap, &tables, 1, SimTime(0));
+        assert!(summaries_equivalent(&a, &b), "{a:?}\n{b:?}");
+        assert!(summaries_equivalent(
+            &b,
+            &summarize(&heap, &tables, 1, SimTime(0))
+        ));
+        // Dense mode materializes one set per component; aliased mode
+        // inherits every interior chain component (24 of 25 per chain).
+        assert_eq!(dense.last_dispatch().inherited_components, 0);
+        assert_eq!(dense.last_dispatch().unioned_components, 8 * 25);
+        assert_eq!(aliased.last_dispatch().inherited_components, 8 * 24);
+        assert_eq!(aliased.last_dispatch().unioned_components, 8);
+    }
+
+    #[test]
+    fn adaptive_dispatch_follows_the_cost_model() {
+        // Two scions over a long chain: (S+1)·graph is far below 3·graph,
+        // so the per-scion reference walk is provably the cheaper bound.
+        let (heap, tables) = chain_world(2, 200);
+        let mut engine = SccEngine::new();
+        let s = engine.summarize_adaptive(&heap, &tables, 1, SimTime(0));
+        assert_eq!(engine.last_dispatch().path, SummarizePath::Reference);
+        assert_eq!(engine.last_dispatch().scions, 2);
+        assert!(summaries_equivalent(
+            &s,
+            &summarize(&heap, &tables, 1, SimTime(0))
+        ));
+
+        // Many scions: the reference bound is S·graph, the engine is ~3
+        // linear passes.
+        let (heap, tables) = chain_world(50, 8);
+        let s = engine.summarize_adaptive(&heap, &tables, 1, SimTime(0));
+        assert_eq!(engine.last_dispatch().path, SummarizePath::Engine);
+        assert!(engine.last_dispatch().inherited_components > 0);
+        assert!(summaries_equivalent(
+            &s,
+            &summarize(&heap, &tables, 1, SimTime(0))
+        ));
+    }
+
+    #[test]
+    fn cached_stubs_follow_engine_runs_and_reference_invalidates() {
+        let (heap, tables) = chain_world(3, 4);
+        let mut engine = SccEngine::new();
+        assert_eq!(
+            engine.cached_stubs_from(0, &tables),
+            None,
+            "no condensation before the first run"
+        );
+        engine.summarize_condensed(&heap, &tables, 1, SimTime(0));
+        // Chain 0 starts at slot 0 and reaches exactly its own stub.
+        assert_eq!(
+            engine.cached_stubs_from(0, &tables),
+            Some(vec![RefId(3)]),
+            "chain head reaches its chain's stub"
+        );
+        assert_eq!(
+            engine.cached_stubs_from(999, &tables),
+            None,
+            "slots outside the condensation force the caller's fallback"
+        );
+        // A reference-path dispatch leaves no valid condensation behind.
+        let (small_heap, small_tables) = chain_world(2, 100);
+        engine.summarize_adaptive(&small_heap, &small_tables, 2, SimTime(1));
+        assert_eq!(engine.last_dispatch().path, SummarizePath::Reference);
+        assert_eq!(engine.cached_stubs_from(0, &small_tables), None);
     }
 }

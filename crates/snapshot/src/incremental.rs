@@ -12,6 +12,17 @@
 //! * the per-scion closure only for scions that are **dirty**: new since
 //!   the last summary, or whose reachable subgraph may have changed.
 //!
+//! Even dirty scions rarely pay a BFS: any *graph* change sets
+//! `all_dirty` (and forces a full engine pass), so when the tracker is
+//! not all-dirty the engine's condensation from the last full pass still
+//! describes the heap exactly. A dirty scion whose target was part of
+//! that condensation resolves its `StubsFrom` by decoding the cached
+//! per-component bitset ([`SccEngine::cached_stubs_from`], O(W/64))
+//! instead of re-walking the object graph; only targets allocated since
+//! the last full pass fall back to a breadth-first closure. The
+//! `target_locally_reachable` bit always comes from the freshly
+//! recomputed root closure, never from the cached condensation.
+//!
 //! Dirtiness is tracked conservatively by the process runtime calling
 //! [`DirtyTracker`] hooks on mutator events. Any reference edit or
 //! invocation in a process marks *all* scions of that process dirty unless
@@ -120,9 +131,14 @@ impl IncrementalSummarizer {
     ) -> SummarizedGraph {
         let (all_dirty, dirty) = self.tracker.take();
         if all_dirty {
-            // Full recompute: one single-pass SCC summarization (identical
-            // output to the reference, a fraction of the traversal work).
-            self.previous = self.engine.summarize(heap, tables, version, taken_at);
+            // Full recompute: one single-pass SCC summarization with
+            // aliased propagation (identical output to the reference, a
+            // fraction of the traversal work). The engine keeps its
+            // condensation cached afterwards, which is what lets later
+            // not-all-dirty rounds answer dirty scions without a BFS.
+            self.previous = self
+                .engine
+                .summarize_condensed(heap, tables, version, taken_at);
             return self.previous.clone();
         }
 
@@ -149,23 +165,34 @@ impl IncrementalSummarizer {
                         .filter(|r| tables.stub(*r).is_some())
                         .collect()
                 }
-                _ => {
-                    closure_into(
-                        heap,
-                        [scion.target.slot],
-                        &mut self.scion_closure,
-                        &mut self.scratch,
-                    );
-                    let mut stubs: Vec<RefId> = self
-                        .scion_closure
-                        .stubs
-                        .iter()
-                        .copied()
-                        .filter(|r| tables.stub(*r).is_some())
-                        .collect();
-                    stubs.sort_unstable();
-                    stubs
-                }
+                // Dirty scion (new, or its counters moved). The graph
+                // itself is unchanged — any edge edit or LGC would have
+                // set `all_dirty` — so the engine's cached condensation
+                // still answers reachability exactly: decode the target
+                // component's bitset instead of re-walking the heap.
+                _ => match self.engine.cached_stubs_from(scion.target.slot, tables) {
+                    Some(stubs) => stubs,
+                    None => {
+                        // Target outside the cached condensation (e.g.
+                        // allocated since the last full pass, or no full
+                        // pass yet): one breadth-first closure.
+                        closure_into(
+                            heap,
+                            [scion.target.slot],
+                            &mut self.scion_closure,
+                            &mut self.scratch,
+                        );
+                        let mut stubs: Vec<RefId> = self
+                            .scion_closure
+                            .stubs
+                            .iter()
+                            .copied()
+                            .filter(|r| tables.stub(*r).is_some())
+                            .collect();
+                        stubs.sort_unstable();
+                        stubs
+                    }
+                },
             };
             for &stub_ref in &stubs_from {
                 scions_to.entry(stub_ref).or_default().push(scion.ref_id);
@@ -325,6 +352,33 @@ mod tests {
         assert!(after.stub(RefId(2)).unwrap().local_reach);
         let f = summarize(&heap, &tables, 2, SimTime(1));
         assert!(summaries_equivalent(&after, &f));
+    }
+
+    #[test]
+    fn dirty_scion_on_covered_slot_resolves_from_condensation() {
+        // A new scion whose target already existed at the last full pass
+        // is answered from the engine's cached condensation (the target's
+        // component bitset), not a BFS — the graph is unchanged, so the
+        // cache is exact. Target b (slot 1) holds stub r2 directly.
+        let (heap, mut tables) = world();
+        let mut inc = IncrementalSummarizer::new(ProcId(0));
+        inc.summarize(&heap, &tables, 1, SimTime(0));
+        let b = heap.id_of_slot(1).unwrap();
+        tables.add_scion(RefId(7), b, ProcId(3), SimTime(1));
+        inc.tracker().scion_created(RefId(7));
+        assert!(
+            !inc.tracker.is_all_dirty(),
+            "scion creation alone must not force a full pass"
+        );
+        let i = inc.summarize(&heap, &tables, 2, SimTime(2));
+        assert_eq!(i.scion(RefId(7)).unwrap().stubs_from, vec![RefId(2)]);
+        let f = summarize(&heap, &tables, 2, SimTime(2));
+        assert!(summaries_equivalent(&i, &f));
+        // The stub's reverse edge picked up the new scion too.
+        assert_eq!(
+            i.stub(RefId(2)).unwrap().scions_to,
+            vec![RefId(1), RefId(7)]
+        );
     }
 
     #[test]

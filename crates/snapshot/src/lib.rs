@@ -21,8 +21,12 @@
 //! paper's per-scion breadth-first formulation (kept as the reference
 //! oracle), and [`SccEngine`], a single-pass SCC-condensation engine that
 //! computes identical output in O(V + E) graph work (see
-//! [`engine`]). [`incremental::IncrementalSummarizer`] layers dirty
-//! tracking over either.
+//! [`engine`]). [`SccEngine::summarize_adaptive`] dispatches between the
+//! two per snapshot from O(1) graph statistics (and runs the engine with
+//! chain-aliased propagation), so neither implementation's worst case is
+//! ever paid; [`incremental::IncrementalSummarizer`] layers dirty
+//! tracking on top and resolves dirty scions from the engine's cached
+//! condensation between full passes.
 
 pub mod capture;
 pub mod codec;
@@ -32,6 +36,6 @@ pub mod summary;
 
 pub use capture::{capture, capture_observed, SnapObject, SnapshotData};
 pub use codec::{CodecError, CompactCodec, SnapshotCodec, VerboseCodec};
-pub use engine::SccEngine;
+pub use engine::{DispatchStats, SccEngine, SummarizePath};
 pub use incremental::{summaries_equivalent, DirtyTracker, IncrementalSummarizer};
 pub use summary::{summarize, summarize_observed, ScionSummary, StubSummary, SummarizedGraph};

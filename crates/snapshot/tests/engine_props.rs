@@ -9,7 +9,9 @@
 use acdgc_heap::{lgc, Heap, HeapRef};
 use acdgc_model::{ObjId, ProcId, RefId, SimTime};
 use acdgc_remoting::RemotingTables;
-use acdgc_snapshot::{summaries_equivalent, summarize, IncrementalSummarizer, SccEngine};
+use acdgc_snapshot::{
+    summaries_equivalent, summarize, IncrementalSummarizer, SccEngine, SummarizePath,
+};
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
 
@@ -193,6 +195,13 @@ fn check(
     prop_assert_eq!(&by_engine.scions, &reference.scions);
     prop_assert_eq!(&by_engine.stubs, &reference.stubs);
     prop_assert_eq!(by_engine.proc, reference.proc);
+    // The adaptive dispatcher must be exact whichever path it picks —
+    // these small worlds mostly land on the reference side of the cost
+    // model, and the reuse of `engine` right after a dense run also
+    // exercises scratch/cache invalidation across the two entry points.
+    let by_adaptive = engine.summarize_adaptive(&world.heap, &world.tables, version, t);
+    prop_assert_eq!(&by_adaptive.scions, &reference.scions);
+    prop_assert_eq!(&by_adaptive.stubs, &reference.stubs);
     let by_inc = inc.summarize(&world.heap, &world.tables, version, t);
     prop_assert!(
         summaries_equivalent(&by_inc, &reference),
@@ -232,6 +241,64 @@ proptest! {
             apply(&mut world, &mut inc, op);
             version += 1;
             check(&world, &mut engine, &mut inc, version)?;
+        }
+    }
+
+    /// Worlds built to straddle the adaptive dispatcher's cost boundary:
+    /// disjoint scion chains (the engine's aliasing sweet spot) plus a
+    /// converging web (the reference's worst case), with the total scion
+    /// count sweeping across the Reference/Engine switchover. Adaptive
+    /// output must equal the reference exactly on both sides, and the
+    /// decision must agree with the cost model in the regimes where the
+    /// model's answer is forced: with S <= 2 scions the reference bound
+    /// (S+1)·graph never exceeds the engine's 3·graph floor, and with
+    /// S >= 4 the world is large enough that it always does.
+    #[test]
+    fn adaptive_exact_across_dispatch_boundary(
+        chains in 0usize..24,
+        len in 1usize..6,
+        web in 0usize..12,
+        root_hub in 0u8..2,
+    ) {
+        let mut heap = Heap::new(ProcId(0));
+        let mut tables = RemotingTables::new(ProcId(0));
+        let mut next_scion = 0u64;
+        for _ in 0..chains {
+            let ids: Vec<ObjId> = (0..len).map(|_| heap.alloc(1)).collect();
+            for pair in ids.windows(2) {
+                heap.add_ref(pair[0], HeapRef::Local(pair[1].slot)).unwrap();
+            }
+            let stub = RefId(1000 + next_scion);
+            tables.add_scion(RefId(next_scion), ids[0], ProcId(1), SimTime(0));
+            tables.add_stub(stub, ObjId::new(ProcId(1), stub.0 as u32, 0), SimTime(0));
+            heap.add_ref(*ids.last().unwrap(), HeapRef::Remote(stub)).unwrap();
+            next_scion += 1;
+        }
+        if web > 0 {
+            let hub = heap.alloc(1);
+            tables.add_stub(RefId(999), ObjId::new(ProcId(2), 0, 0), SimTime(0));
+            heap.add_ref(hub, HeapRef::Remote(RefId(999))).unwrap();
+            if root_hub == 1 {
+                heap.add_root(hub).unwrap();
+            }
+            for _ in 0..web {
+                let spoke = heap.alloc(1);
+                heap.add_ref(spoke, HeapRef::Local(hub.slot)).unwrap();
+                tables.add_scion(RefId(next_scion), spoke, ProcId(3), SimTime(0));
+                next_scion += 1;
+            }
+        }
+        let mut engine = SccEngine::new();
+        let reference = summarize(&heap, &tables, 1, SimTime(0));
+        let adaptive = engine.summarize_adaptive(&heap, &tables, 1, SimTime(0));
+        prop_assert_eq!(&adaptive.scions, &reference.scions);
+        prop_assert_eq!(&adaptive.stubs, &reference.stubs);
+        let d = engine.last_dispatch();
+        prop_assert_eq!(d.scions, chains + web);
+        if chains + web <= 2 {
+            prop_assert_eq!(d.path, SummarizePath::Reference);
+        } else if chains + web >= 4 {
+            prop_assert_eq!(d.path, SummarizePath::Engine);
         }
     }
 

@@ -49,6 +49,23 @@ if cargo run -q --offline --release -p acdgc-bench --bin acdgc-report -- --check
     exit 1
 fi
 
+echo "==> parallel-phase determinism gate (release)"
+# The gc_round fan-out must be observationally identical with
+# parallel_snapshots/parallel_gc_phases on and off — every metric counter,
+# merged and per process. Run the parity test under --release as well:
+# optimization-level differences (and any future real thread pool) must
+# not introduce scheduling-dependent behaviour that debug builds hide.
+cargo test -q --offline --release --test integration_modes \
+    parallel_phases_are_observationally_identical
+
+echo "==> bench smoke (1-sample compile + run gate)"
+# The vendored criterion stand-in ignores CLI filters, so the smoke mode
+# is selected by the ACDGC_BENCH_SMOKE env var read in the bench sources:
+# tiny inputs, 2 samples, summarization restricted to disjoint_chains.
+# This catches bit-rot in the bench harnesses without paying full runs.
+ACDGC_BENCH_SMOKE=1 cargo bench --offline -p acdgc-bench --bench summarization
+ACDGC_BENCH_SMOKE=1 cargo bench --offline -p acdgc-bench --bench gc_round
+
 echo "==> clippy (-D warnings)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

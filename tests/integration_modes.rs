@@ -108,6 +108,50 @@ fn condemned_stub_resurrected_by_reimport_survives() {
 }
 
 #[test]
+fn parallel_phases_are_observationally_identical() {
+    // The fan-out in gc_round (LGC, snapshot, candidate scan) splits each
+    // phase into parallel per-process compute and a sequential apply in
+    // process-index order, so network sends, detection ids and metric
+    // bumps happen in exactly the sequence the sequential code produced.
+    // Same seed + same workload with the flags on and off must therefore
+    // agree on *every* counter, merged and per process — not just on the
+    // final object counts.
+    let run = |parallel: bool| {
+        let mut sys = System::new(
+            4,
+            GcConfig {
+                parallel_snapshots: parallel,
+                parallel_gc_phases: parallel,
+                ..GcConfig::manual()
+            },
+            NetConfig::default(),
+            74,
+        );
+        let procs: Vec<ProcId> = (0..4).map(ProcId).collect();
+        let _live = scenarios::ring(&mut sys, &procs, 3, true);
+        let _dead = scenarios::ring(&mut sys, &procs, 3, false);
+        let rounds = sys.collect_to_fixpoint(30);
+        let per_proc: Vec<_> = procs.iter().map(|&p| *sys.metrics_for(p)).collect();
+        (
+            rounds,
+            sys.metrics,
+            per_proc,
+            sys.total_live_objects(),
+            sys.total_scions(),
+            sys.clock(),
+        )
+    };
+    let sequential = run(false);
+    let parallel = run(true);
+    assert_eq!(
+        sequential, parallel,
+        "parallel phases changed observable behaviour"
+    );
+    assert_eq!(sequential.1.safety_violations(), 0);
+    assert_eq!(sequential.3, 13, "live rings + anchor survive (4*3+1)");
+}
+
+#[test]
 fn modes_agree_under_churn() {
     // Same seed, same workload, different integration mode: final state
     // must agree (the mode changes timing, never outcomes).
