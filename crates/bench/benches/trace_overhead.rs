@@ -10,13 +10,28 @@
 //!   [`TraceFilter`] (NSS / phases / quiescence suppressed before any
 //!   event is built; phase histograms still fed).
 //!
+//! A second group measures time-series telemetry the same way: steady
+//! rounds of a live anchored ring with [`SamplingConfig`] off (one bool
+//! test per round — the production default) versus on at the densest
+//! cadence (`sample_every = 1`, every round copies all ledgers and walks
+//! every heap's stats into the rings).
+//!
 //! `BENCH_trace_overhead.json` at the repo root records the medians; the
-//! acceptance criterion is the disabled path staying within noise of the
+//! acceptance criterion is the disabled paths staying within noise of the
 //! untraced baseline in `BENCH_summarization.json`-era runs.
 
-use acdgc_model::{GcConfig, NetConfig, ProcId, SimDuration, TraceConfig, TraceFilter};
+use acdgc_model::{
+    GcConfig, NetConfig, ProcId, SamplingConfig, SimDuration, TraceConfig, TraceFilter,
+};
 use acdgc_sim::{scenarios, System};
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// CI smoke mode (`ACDGC_BENCH_SMOKE=1`): minimum samples, same variants —
+/// proves the harness builds and runs without paying measurement time.
+fn smoke() -> bool {
+    std::env::var_os("ACDGC_BENCH_SMOKE").is_some()
+}
 
 /// The detection-dense fixture: a 6-process ring of garbage cycles, LGC'd
 /// and snapshotted so detections can fire immediately.
@@ -53,7 +68,7 @@ fn detections_only() -> TraceConfig {
 
 fn bench_trace_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("trace_overhead");
-    group.sample_size(40);
+    group.sample_size(if smoke() { 2 } else { 40 });
     let variants: [(&str, TraceConfig); 3] = [
         ("disabled", TraceConfig::default()),
         ("enabled", TraceConfig::on()),
@@ -80,5 +95,49 @@ fn bench_trace_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_trace_overhead);
+/// Steady-state fixture for the sampling group: a live anchored ring, so
+/// every round does real LGC/snapshot/scan work but frees nothing.
+fn live_ring_system(sampling: SamplingConfig) -> System {
+    let cfg = GcConfig {
+        sampling,
+        ..GcConfig::manual()
+    };
+    let mut sys = System::new(6, cfg, NetConfig::instant(), 17);
+    sys.check_safety = false;
+    let ids: Vec<ProcId> = (0..6).map(ProcId).collect();
+    scenarios::ring(&mut sys, &ids, 200, true);
+    // Settle: first round pays one-time summarizer scratch allocation.
+    sys.gc_round();
+    sys
+}
+
+fn bench_sampling_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(if smoke() { 2 } else { 40 });
+    let variants: [(&str, SamplingConfig); 2] = [
+        ("sampling_off", SamplingConfig::default()),
+        (
+            // Densest cadence: every round copies ledgers and heap stats
+            // into the rings — the worst case a user can configure.
+            "sampling_on",
+            SamplingConfig {
+                enabled: true,
+                sample_every: 1,
+                capacity: 256,
+            },
+        ),
+    ];
+    for (name, sampling) in variants {
+        let mut sys = live_ring_system(sampling);
+        group.bench_with_input(BenchmarkId::new("gc_round", name), &(), |b, _| {
+            b.iter(|| {
+                sys.gc_round();
+                black_box(sys.metrics.snapshots)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead, bench_sampling_overhead);
 criterion_main!(benches);

@@ -9,27 +9,34 @@
 //!   paths;
 //! * the message-balance and hop-monotonicity verdicts of
 //!   `Trace::check`;
-//! * a watchdog/health summary from any `health_report` lines.
+//! * a watchdog/health summary from any `health_report` lines;
+//! * with `--timeline`, ASCII sparkline timelines and a counter-rate
+//!   table for every `sample` time series in the artifact.
 //!
 //! Usage:
 //!
 //! ```text
-//! acdgc-report [--check] [--top N] [PATH ...]
+//! acdgc-report [--check] [--timeline] [--top N] [PATH ...]
 //! ```
 //!
 //! `PATH` entries may be `.jsonl` files or directories (scanned for
 //! `*.jsonl`); the default is `target/trace-artifacts`. With `--check`
-//! the exit code is non-zero when any artifact has a ledger or
-//! hop-monotonicity violation (CI gates on this; see scripts/ci.sh).
-//! Artifacts whose ring overflowed (`overwritten > 0`) are suffix traces:
-//! they are reported but exempt from checking.
+//! the exit code is non-zero when any artifact has a ledger,
+//! hop-monotonicity, or time-series violation (CI gates on this; see
+//! scripts/ci.sh). Artifacts whose ring overflowed (`overwritten > 0`)
+//! are suffix traces: their event checks are skipped, but sample series
+//! are still validated — decimation bounds a series without ever
+//! overwriting it, so sample lines are exact at any length.
 
-use acdgc_obs::{HealthReport, Phase, Trace};
+use acdgc_obs::{
+    counter_rates, group_by_series, sparkline, HealthReport, Phase, Sample, Trace, GAUGE_FIELDS,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Options {
     check: bool,
+    timeline: bool,
     top: usize,
     paths: Vec<PathBuf>,
 }
@@ -37,6 +44,7 @@ struct Options {
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         check: false,
+        timeline: false,
         top: 3,
         paths: Vec::new(),
     };
@@ -44,12 +52,13 @@ fn parse_args() -> Result<Options, String> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--check" => opts.check = true,
+            "--timeline" => opts.timeline = true,
             "--top" => {
                 let n = args.next().ok_or("--top needs a number")?;
                 opts.top = n.parse().map_err(|_| format!("bad --top value {n:?}"))?;
             }
             "--help" | "-h" => {
-                println!("usage: acdgc-report [--check] [--top N] [PATH ...]");
+                println!("usage: acdgc-report [--check] [--timeline] [--top N] [PATH ...]");
                 std::process::exit(0);
             }
             other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
@@ -177,6 +186,58 @@ fn report_health(health: &[HealthReport]) {
     }
 }
 
+/// Render every time series in the artifact as sparkline timelines plus a
+/// counter-rate table: one block per series (global first, then per
+/// process), one sparkline per gauge, one rate row per counter.
+fn report_timeline(trace: &Trace) {
+    if trace.samples.is_empty() {
+        println!("  timeline: no sample lines in this artifact");
+        return;
+    }
+    const WIDTH: usize = 48;
+    for (proc, rows) in group_by_series(&trace.samples) {
+        let label = match proc {
+            None => "global".to_string(),
+            Some(p) => format!("P{}", p.0),
+        };
+        let samples: Vec<Sample> = rows.iter().map(|(s, _)| *s).collect();
+        let span_us = samples
+            .last()
+            .map(|s| s.at.0.saturating_sub(samples[0].at.0))
+            .unwrap_or(0);
+        println!(
+            "  timeline [{label}]: {} samples over {}",
+            samples.len(),
+            human_ns(span_us.saturating_mul(1_000)),
+        );
+        for (name, get) in GAUGE_FIELDS {
+            let values: Vec<u64> = samples.iter().map(get).collect();
+            let max = values.iter().copied().max().unwrap_or(0);
+            println!(
+                "    {:<20} {:<width$} max={max}",
+                name,
+                sparkline(&values, WIDTH),
+                width = WIDTH
+            );
+        }
+        let rates = counter_rates(&samples);
+        if rates.is_empty() {
+            println!("    rates: need at least two samples spanning nonzero time");
+            continue;
+        }
+        println!(
+            "    {:<20} {:>10} {:>12} {:>12}",
+            "counter", "total", "avg/s", "peak/s"
+        );
+        for r in rates {
+            println!(
+                "    {:<20} {:>10} {:>12.1} {:>12.1}",
+                r.name, r.total, r.per_sec_avg, r.per_sec_peak
+            );
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -236,13 +297,34 @@ fn main() -> ExitCode {
         report_phases(&trace);
         report_detections(&trace, opts.top);
         report_health(&health);
+        if opts.timeline {
+            report_timeline(&trace);
+        }
 
         let check = trace.check();
+        // Sample series are exact at any length (decimation never
+        // overwrites), so their verdict applies even to suffix traces.
+        if !check.sample_violations.is_empty() {
+            println!(
+                "  samples: FAILED ({} violation(s) across {} sample line(s))",
+                check.sample_violations.len(),
+                trace.samples.len()
+            );
+            for v in &check.sample_violations {
+                println!("    VIOLATION: {v}");
+            }
+            violations += check.sample_violations.len();
+        } else if !trace.samples.is_empty() {
+            println!(
+                "  samples: OK ({} lines: monotone clocks/counters, capacity bounded)",
+                trace.samples.len()
+            );
+        }
         if check.skipped_overwritten {
             println!("  check: SKIPPED (suffix trace: ring overwrote events)");
             continue;
         }
-        if check.ok() {
+        if check.hop_violations.is_empty() && check.balance_violations.is_empty() {
             println!(
                 "  check: OK ({} detections balanced, hops monotonic)",
                 check.detections
@@ -253,7 +335,7 @@ fn main() -> ExitCode {
                 check.hop_violations.len(),
                 check.balance_violations.len()
             );
-            for v in check.violations() {
+            for v in check.hop_violations.iter().chain(&check.balance_violations) {
                 println!("    VIOLATION: {v}");
             }
             violations += check.hop_violations.len() + check.balance_violations.len();

@@ -43,6 +43,12 @@ impl CandidateState {
     pub fn attempts_for(&self, scion: RefId) -> u32 {
         self.attempts.get(&scion).copied().unwrap_or(0)
     }
+
+    /// Deepest attempt count across every tracked scion — the telemetry
+    /// gauge for how far retry backoff has escalated on this process.
+    pub fn max_attempts(&self) -> u32 {
+        self.attempts.values().copied().max().unwrap_or(0)
+    }
 }
 
 /// Result of one candidate scan.

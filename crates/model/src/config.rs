@@ -142,6 +142,51 @@ impl Default for WatchdogConfig {
     }
 }
 
+/// Continuous time-series telemetry knobs (see the `acdgc-obs` crate's
+/// `timeseries` module). Disabled by default, exactly like [`TraceConfig`]:
+/// the disabled path is one branch per would-be sample, so production
+/// configurations pay nothing.
+///
+/// When enabled, the sequential runtime takes one sample every
+/// `sample_every` GC rounds (round-clock semantics), and the threaded
+/// runtime's watchdog monitor emits one sample every `sample_every` polls
+/// of the heartbeat slots (wall-clock semantics) while the run is healthy,
+/// not just at stalls. Each series is a bounded ring of at most `capacity`
+/// samples: on overflow it decimates by 2 (every other interior sample is
+/// dropped, first and last preserved), so arbitrarily long runs keep a
+/// full-span, progressively coarser timeline in fixed memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SamplingConfig {
+    pub enabled: bool,
+    /// Sampling cadence: one sample per `sample_every` GC rounds
+    /// (sequential) or watchdog polls (threaded). Clamped to at least 1.
+    pub sample_every: u64,
+    /// Per-series sample capacity; decimation-by-2 keeps every series at
+    /// or under this bound. Clamped to at least 4 so first/last
+    /// preservation always leaves room for interior structure.
+    pub capacity: usize,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        SamplingConfig {
+            enabled: false,
+            sample_every: 1,
+            capacity: 1_024,
+        }
+    }
+}
+
+impl SamplingConfig {
+    /// Sampling on with the default cadence and capacity.
+    pub fn on() -> Self {
+        SamplingConfig {
+            enabled: true,
+            ..SamplingConfig::default()
+        }
+    }
+}
+
 /// Collector tuning knobs. Defaults model the paper's lazy, low-disruption
 /// regime; ablation experiments flip the named switches.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -256,6 +301,8 @@ pub struct GcConfig {
     pub trace: TraceConfig,
     /// Threaded-runtime watchdog: stall detection + health reports.
     pub watchdog: WatchdogConfig,
+    /// Periodic time-series sampling (`acdgc-obs`); off by default.
+    pub sampling: SamplingConfig,
 }
 
 impl Default for GcConfig {
@@ -286,6 +333,7 @@ impl Default for GcConfig {
             nss_retry_sweeps: 8,
             trace: TraceConfig::default(),
             watchdog: WatchdogConfig::default(),
+            sampling: SamplingConfig::default(),
         }
     }
 }

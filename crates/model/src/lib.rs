@@ -25,7 +25,8 @@ pub mod time;
 
 pub use bitset::BitSet;
 pub use config::{
-    GcConfig, IntegrationMode, NetConfig, SummarizerKind, TraceConfig, TraceFilter, WatchdogConfig,
+    GcConfig, IntegrationMode, NetConfig, SamplingConfig, SummarizerKind, TraceConfig, TraceFilter,
+    WatchdogConfig,
 };
 pub use error::ModelError;
 pub use ids::{DetectionId, IdAllocator, ObjId, ProcId, RefId, Slot};

@@ -20,7 +20,11 @@
 //!   [`Trace::from_jsonl`] re-ingests an export (the `acdgc-report` CLI);
 //! * runtime health ([`health`]): per-worker [`Heartbeats`] slots, stall
 //!   detection, and [`HealthReport`] snapshots of the pending event tails
-//!   a hung worker would otherwise keep invisible.
+//!   a hung worker would otherwise keep invisible;
+//! * time-series telemetry ([`timeseries`]): a [`Sampler`] of periodic
+//!   per-process and global gauge/counter [`Sample`]s in bounded
+//!   decimating [`TimeSeries`] rings, exported as `sample` JSONL lines
+//!   and rendered as sparkline timelines by `acdgc-report --timeline`.
 //!
 //! The crate sits below `heap`/`remoting`/`snapshot`/`sim` so every layer
 //! can report events without dependency cycles; runtimes own the sinks
@@ -29,6 +33,7 @@
 pub mod event;
 pub mod health;
 pub mod hist;
+pub mod timeseries;
 pub mod trace;
 
 pub use event::{DropReason, Event, Phase, Recorded, TermReason};
@@ -36,4 +41,8 @@ pub use health::{
     HealthReason, HealthReport, Heartbeat, HeartbeatSlot, Heartbeats, WorkerHealth, WorkerStage,
 };
 pub use hist::{Histogram, PhaseHistograms};
+pub use timeseries::{
+    check_series, counter_rates, group_by_series, sparkline, RateRow, Sample, SampleField,
+    SampleRow, Sampler, TimeSeries, COUNTER_FIELDS, GAUGE_FIELDS,
+};
 pub use trace::{DetectionPath, PathBalance, ProcTrace, Trace, TraceCheck};

@@ -4,6 +4,7 @@
 use crate::event::{field_str, field_u16, field_u64, Event, Phase, Recorded};
 use crate::health::HealthReport;
 use crate::hist::PhaseHistograms;
+use crate::timeseries::{check_series, group_by_series, Sample};
 use acdgc_model::{DetectionId, ProcId, SimTime, TraceConfig, TraceFilter};
 use serde_json::{json, Value};
 use std::io::{self, Write};
@@ -181,6 +182,10 @@ pub struct Trace {
     pub overwritten: u64,
     /// Per-process phase histograms.
     pub phases: Vec<(ProcId, PhaseHistograms)>,
+    /// Time-series telemetry samples (global series first, then per
+    /// process), each paired with its series' declared capacity. Empty
+    /// unless the run sampled (`SamplingConfig::enabled`).
+    pub samples: Vec<(Sample, usize)>,
 }
 
 impl Trace {
@@ -202,7 +207,15 @@ impl Trace {
             events,
             overwritten,
             phases,
+            samples: Vec::new(),
         }
+    }
+
+    /// Attach a sampler's exported time-series (builder-style, so runtime
+    /// `trace()` accessors can chain it onto [`Trace::collect`]).
+    pub fn with_samples(mut self, samples: Vec<(Sample, usize)>) -> Trace {
+        self.samples = samples;
+        self
     }
 
     /// System-wide phase histograms (all processes merged).
@@ -253,7 +266,8 @@ impl Trace {
     }
 
     /// Export everything as JSON Lines: one `trace_meta` header, one
-    /// object per event, then one `phase_histograms` object per process.
+    /// object per event, one `phase_histograms` object per process, then
+    /// one `sample` object per telemetry sample.
     pub fn to_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
         let meta = json!({
             "type": "trace_meta",
@@ -285,6 +299,14 @@ impl Trace {
                 w,
                 "{}",
                 serde_json::to_string(&line).expect("value serialization is infallible")
+            )?;
+        }
+        for (sample, cap) in &self.samples {
+            writeln!(
+                w,
+                "{}",
+                serde_json::to_string(&sample.to_json(*cap))
+                    .expect("value serialization is infallible")
             )?;
         }
         Ok(())
@@ -341,6 +363,12 @@ impl Trace {
                             .ok_or_else(|| format!("line {lineno}: bad health_report payload"))?,
                     );
                 }
+                "sample" => {
+                    trace.samples.push(
+                        Sample::from_json(&v)
+                            .ok_or_else(|| format!("line {lineno}: bad sample payload"))?,
+                    );
+                }
                 _ => {
                     trace.events.push(
                         Recorded::from_json(&v)
@@ -366,15 +394,32 @@ impl Trace {
     /// * `terminals + forward_steps == started + delivered`: every
     ///   processing step closes with exactly one verdict or forward.
     ///
-    /// A trace with ring overwrites is a suffix: all checks are skipped
-    /// and [`TraceCheck::skipped_overwritten`] is set.
+    /// Telemetry samples are additionally validated per series (global
+    /// and per process): monotonic timestamps, strictly increasing
+    /// rounds, monotone counters, and the capacity bound each `sample`
+    /// line declares.
+    ///
+    /// A trace with ring overwrites is a suffix: the detection-ledger
+    /// checks are skipped and [`TraceCheck::skipped_overwritten`] is set.
+    /// Sample series never overwrite (they decimate), so the sample
+    /// checks run regardless.
     pub fn check(&self) -> TraceCheck {
         let mut check = TraceCheck {
             detections: 0,
             hop_violations: Vec::new(),
             balance_violations: Vec::new(),
+            sample_violations: Vec::new(),
             skipped_overwritten: self.overwritten > 0,
         };
+        for (proc, series) in group_by_series(&self.samples) {
+            let label = match proc {
+                None => "samples[global]".to_string(),
+                Some(p) => format!("samples[{p}]"),
+            };
+            check
+                .sample_violations
+                .extend(check_series(&label, &series));
+        }
         if check.skipped_overwritten {
             return check;
         }
@@ -412,14 +457,20 @@ pub struct TraceCheck {
     pub detections: usize,
     pub hop_violations: Vec<String>,
     pub balance_violations: Vec<String>,
-    /// True when the trace had ring overwrites and the checks were skipped
-    /// (a suffix trace cannot be balanced).
+    /// Telemetry-series violations (non-monotonic timestamps/rounds,
+    /// regressing counters, capacity overruns). Checked even for suffix
+    /// traces — sampling decimates instead of overwriting.
+    pub sample_violations: Vec<String>,
+    /// True when the trace had ring overwrites and the detection checks
+    /// were skipped (a suffix trace cannot be balanced).
     pub skipped_overwritten: bool,
 }
 
 impl TraceCheck {
     pub fn ok(&self) -> bool {
-        self.hop_violations.is_empty() && self.balance_violations.is_empty()
+        self.hop_violations.is_empty()
+            && self.balance_violations.is_empty()
+            && self.sample_violations.is_empty()
     }
 
     /// All violations, for printing.
@@ -427,6 +478,7 @@ impl TraceCheck {
         self.hop_violations
             .iter()
             .chain(self.balance_violations.iter())
+            .chain(self.sample_violations.iter())
     }
 }
 
@@ -883,6 +935,63 @@ mod tests {
         let check = trace.check();
         assert!(check.skipped_overwritten);
         assert!(check.ok(), "a suffix trace is unjudgeable, not guilty");
+    }
+
+    /// Two global + one per-proc telemetry samples with advancing clocks
+    /// and counters.
+    fn sample_fixture() -> Vec<(Sample, usize)> {
+        let mk = |round: u64, proc| Sample {
+            at: SimTime(round * 1_000),
+            round,
+            proc,
+            live_objects: 10 + round,
+            cdms_sent: round * 2,
+            ..Sample::default()
+        };
+        vec![
+            (mk(1, None), 64),
+            (mk(2, None), 64),
+            (mk(2, Some(ProcId(1))), 64),
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips_samples_and_checks_them() {
+        let trace = two_proc_cycle_trace().with_samples(sample_fixture());
+        let mut buf = Vec::new();
+        trace.to_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.matches("\"type\":\"sample\"").count(), 3);
+        let (back, _) = Trace::from_jsonl(&text).unwrap();
+        assert_eq!(back.samples, trace.samples);
+        let check = back.check();
+        assert!(check.ok(), "{:?}", check.sample_violations);
+
+        // Corrupt the global series: reverse its rounds/timestamps. The
+        // sample checker must flag it even though the event ledger is fine.
+        let mut corrupted = back.clone();
+        corrupted.samples.swap(0, 1);
+        let check = corrupted.check();
+        assert!(!check.ok());
+        assert!(!check.sample_violations.is_empty(), "{check:?}");
+    }
+
+    #[test]
+    fn sample_checks_run_even_on_suffix_traces() {
+        let mut pt = ProcTrace::new(ProcId(0), &cfg(2));
+        for i in 0..5 {
+            pt.record(SimTime(i), started(i, i));
+        }
+        let mut samples = sample_fixture();
+        samples.swap(0, 1); // non-monotonic global series
+        let trace = Trace::collect([&pt]).with_samples(samples);
+        let check = trace.check();
+        assert!(check.skipped_overwritten);
+        assert!(
+            !check.sample_violations.is_empty(),
+            "overwritten events must not blind the sample checker"
+        );
+        assert!(!check.ok());
     }
 
     #[test]

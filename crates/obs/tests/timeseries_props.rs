@@ -1,0 +1,63 @@
+//! Property tests for the time-series telemetry rings.
+//!
+//! Decimation-by-2 is the load-bearing trick that keeps arbitrarily long
+//! runs inside a fixed sample budget; these properties pin its contract
+//! for any (capacity, run length) combination: the bound always holds,
+//! the endpoints always survive, and retained samples stay in order.
+
+use acdgc_model::SimTime;
+use acdgc_obs::{check_series, Sample, TimeSeries};
+use proptest::prelude::*;
+
+fn sample(round: u64) -> Sample {
+    Sample {
+        at: SimTime(round * 250),
+        round,
+        live_objects: 1_000 + round % 97,
+        cdms_sent: round * 2,
+        objects_reclaimed: round / 3,
+        ..Sample::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Pushing any number of samples through any capacity never exceeds
+    /// the bound and never loses the first or the newest sample.
+    #[test]
+    fn decimation_bounds_capacity_and_preserves_endpoints(
+        capacity in 0usize..64,
+        pushes in 1u64..600,
+    ) {
+        let mut ts = TimeSeries::new(capacity);
+        for round in 1..=pushes {
+            ts.push(sample(round));
+            // The bound is an *invariant*, not a final state: check after
+            // every push.
+            prop_assert!(ts.len() <= ts.capacity(),
+                "len {} over capacity {}", ts.len(), ts.capacity());
+            prop_assert_eq!(ts.samples().first().unwrap().round, 1);
+            prop_assert_eq!(ts.samples().last().unwrap().round, round);
+        }
+        prop_assert_eq!(ts.offered(), pushes);
+    }
+
+    /// Whatever decimation keeps is still a valid series: rounds strictly
+    /// increasing, timestamps and counters monotone — i.e. downsampling
+    /// can never manufacture a `--check` violation.
+    #[test]
+    fn decimated_series_stays_checkable(
+        capacity in 0usize..48,
+        pushes in 1u64..400,
+    ) {
+        let mut ts = TimeSeries::new(capacity);
+        for round in 1..=pushes {
+            ts.push(sample(round));
+        }
+        let exported: Vec<(Sample, usize)> =
+            ts.samples().iter().map(|&s| (s, ts.capacity())).collect();
+        let violations = check_series("prop", &exported);
+        prop_assert!(violations.is_empty(), "{:?}", violations);
+    }
+}

@@ -11,7 +11,7 @@ use acdgc_model::{
     SimDuration, SimTime, Slot,
 };
 use acdgc_net::{Envelope, MessageClass, NetStats, Network};
-use acdgc_obs::{Event, Phase, Trace};
+use acdgc_obs::{Event, Phase, Sample, Sampler, Trace};
 use acdgc_remoting::{
     apply_new_set_stubs_observed, build_new_set_stubs, ExportedRef, InvokePayload, NewSetStubs,
     ReplyPayload,
@@ -31,6 +31,12 @@ pub struct System {
     /// On by default; benches switch it off (it is O(heap) per LGC).
     pub check_safety: bool,
     pub metrics: Metrics,
+    /// Time-series telemetry (`GcConfig::sampling`): one global + one
+    /// per-process bounded series, fed every `sample_every` GC rounds.
+    sampler: Sampler,
+    /// Completed [`System::gc_round`] calls — the sequential sampling
+    /// clock.
+    rounds: u64,
 }
 
 impl System {
@@ -45,6 +51,7 @@ impl System {
         for proc in &mut procs[1..] {
             proc.obs.share_seq(seq.clone());
         }
+        let sampler = Sampler::new(&cfg.sampling, num_procs);
         System {
             cfg,
             procs,
@@ -53,6 +60,8 @@ impl System {
             ids: IdAllocator::new(),
             check_safety: true,
             metrics: Metrics::default(),
+            sampler,
+            rounds: 0,
         }
     }
 
@@ -98,9 +107,16 @@ impl System {
     }
 
     /// Collect the per-process event rings into one totally ordered trace
-    /// (empty when tracing is disabled).
+    /// (empty when tracing is disabled), with any telemetry samples
+    /// attached for JSONL export.
     pub fn trace(&self) -> Trace {
-        Trace::collect(self.procs.iter().map(|p| &p.obs))
+        Trace::collect(self.procs.iter().map(|p| &p.obs)).with_samples(self.sampler.export())
+    }
+
+    /// The time-series telemetry recorded so far (empty series when
+    /// `GcConfig::sampling` is disabled).
+    pub fn sampler(&self) -> &Sampler {
+        &self.sampler
     }
 
     /// Render the merged metrics ledger plus the merged per-phase latency
@@ -111,6 +127,10 @@ impl System {
         let mut out = String::new();
         self.metrics.to_prometheus_into(&mut out);
         self.trace().merged_phases().to_prometheus_into(&mut out);
+        // Point-in-time gauges, computed fresh at scrape time (the counter
+        // `_total` namespace above is owned by `Metrics`).
+        let (global, _) = self.current_sample();
+        global.to_prometheus_into(&mut out);
         out
     }
 
@@ -1140,6 +1160,10 @@ impl System {
     /// One manual GC round: LGC everywhere, drain, snapshot everywhere,
     /// scan everywhere, drain. Advances the clock by 1 ms first so
     /// `NewSetStubs` horizons see previously created scions.
+    ///
+    /// With `GcConfig::sampling` enabled, every `sample_every`-th round
+    /// ends by recording one telemetry [`Sample`] per process plus the
+    /// global aggregate; disabled, the cost is one branch.
     pub fn gc_round(&mut self) {
         self.advance(SimDuration::from_millis(1));
         self.lgc_all();
@@ -1151,6 +1175,62 @@ impl System {
         self.snapshot_all();
         self.scan_all();
         self.drain_network();
+        self.rounds += 1;
+        if self.sampler.due(self.rounds) {
+            let (global, per_proc) = self.current_sample();
+            self.sampler.record(global, &per_proc);
+        }
+    }
+
+    /// Build the telemetry snapshot for this instant: one sample per
+    /// process plus the global aggregate (gauges summed, except
+    /// `max_backoff_attempt`, which is a max; global counters come from
+    /// the merged ledger). `inbox_depth` and `votes_held` are threaded
+    /// concepts and stay 0 here; `in_flight_cdms` is the simulated
+    /// network's in-flight count, attributable only globally.
+    fn current_sample(&self) -> (Sample, Vec<Sample>) {
+        let (at, round) = (self.clock, self.rounds);
+        let mut global = Sample {
+            at,
+            round,
+            proc: None,
+            in_flight_cdms: self.net.in_flight() as u64,
+            lgc_runs: self.metrics.lgc_runs,
+            snapshots: self.metrics.snapshots,
+            cdms_sent: self.metrics.cdms_sent,
+            cycles_detected: self.metrics.cycles_detected,
+            objects_reclaimed: self.metrics.objects_reclaimed,
+            scions_reclaimed: self.metrics.scions_reclaimed_acyclic
+                + self.metrics.scions_deleted_by_dcda,
+            ..Sample::default()
+        };
+        let per_proc: Vec<Sample> = self
+            .procs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Sample {
+                at,
+                round,
+                proc: Some(ProcId(i as u16)),
+                live_objects: p.heap.stats().live_objects as u64,
+                candidates: p.candidates.tracked() as u64,
+                max_backoff_attempt: u64::from(p.candidates.max_attempts()),
+                lgc_runs: p.metrics.lgc_runs,
+                snapshots: p.metrics.snapshots,
+                cdms_sent: p.metrics.cdms_sent,
+                cycles_detected: p.metrics.cycles_detected,
+                objects_reclaimed: p.metrics.objects_reclaimed,
+                scions_reclaimed: p.metrics.scions_reclaimed_acyclic
+                    + p.metrics.scions_deleted_by_dcda,
+                ..Sample::default()
+            })
+            .collect();
+        for s in &per_proc {
+            global.live_objects += s.live_objects;
+            global.candidates += s.candidates;
+            global.max_backoff_attempt = global.max_backoff_attempt.max(s.max_backoff_attempt);
+        }
+        (global, per_proc)
     }
 
     /// Run manual GC rounds until the system stops reclaiming (two
@@ -1522,6 +1602,65 @@ mod tests {
         sys.collect_to_fixpoint(10);
         assert_eq!(sys.total_live_objects(), 3);
         assert_eq!(sys.metrics.safety_violations(), 0);
+    }
+
+    #[test]
+    fn sampling_records_bounded_validated_series() {
+        use acdgc_model::SamplingConfig;
+        let mut sys = System::new(
+            4,
+            GcConfig {
+                sampling: SamplingConfig {
+                    enabled: true,
+                    sample_every: 2,
+                    capacity: 8,
+                },
+                ..GcConfig::manual()
+            },
+            NetConfig::instant(),
+            42,
+        );
+        let fig = scenarios::fig3(&mut sys);
+        sys.remove_root(fig.a).unwrap();
+        for _ in 0..30 {
+            sys.gc_round();
+        }
+        let sampler = sys.sampler();
+        assert!(sampler.enabled());
+        assert_eq!(sampler.global().offered(), 15, "every 2nd of 30 rounds");
+        assert!(sampler.global().len() <= 8, "decimated to capacity");
+        assert_eq!(sampler.per_proc().len(), 4);
+        let first = sampler.global().samples().first().unwrap();
+        let last = sampler.global().samples().last().unwrap();
+        assert_eq!((first.round, last.round), (2, 30), "endpoints preserved");
+        assert!(
+            last.objects_reclaimed >= 14,
+            "the fig3 cycle's reclamation shows up in the series: {last:?}"
+        );
+        assert_eq!(last.live_objects, sys.total_live_objects() as u64);
+        // The exported series embed in the trace artifact and validate.
+        let trace = sys.trace();
+        assert_eq!(trace.samples.len(), sampler.export().len());
+        let check = trace.check();
+        assert!(check.ok(), "{:?}", check.sample_violations);
+        // Gauges appear in the Prometheus exposition.
+        let prom = sys.to_prometheus();
+        assert!(prom.contains("# TYPE acdgc_live_objects gauge"), "{prom}");
+    }
+
+    #[test]
+    fn sampling_disabled_records_nothing_and_samples_no_trace_lines() {
+        let mut sys = manual(2);
+        let a = sys.alloc(ProcId(0), 1);
+        let b = sys.alloc(ProcId(1), 1);
+        sys.add_root(a).unwrap();
+        sys.create_remote_ref(a, b).unwrap();
+        for _ in 0..5 {
+            sys.gc_round();
+        }
+        assert!(!sys.sampler().enabled());
+        assert!(sys.sampler().export().is_empty());
+        assert!(sys.trace().samples.is_empty());
     }
 
     #[test]

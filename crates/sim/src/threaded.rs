@@ -56,7 +56,7 @@ use acdgc_model::{
 use acdgc_obs::health::{
     HealthReason, HealthReport, Heartbeat, Heartbeats, WorkerHealth, WorkerStage,
 };
-use acdgc_obs::{DropReason, Event, Phase, TermReason};
+use acdgc_obs::{DropReason, Event, Phase, Sample, Sampler, TermReason};
 use acdgc_remoting::{apply_new_set_stubs_observed, build_new_set_stubs, NewSetStubs};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -284,13 +284,16 @@ impl Default for ThreadedOptions {
 }
 
 /// What a threaded run returns: the final processes, the legacy shared
-/// stats, and every [`HealthReport`] the watchdog produced (stall reports
+/// stats, every [`HealthReport`] the watchdog produced (stall reports
 /// in emission order, then exactly one terminal report — quiescent or
-/// deadline — when `cfg.watchdog.enabled`).
+/// deadline — when `cfg.watchdog.enabled`), and the telemetry samples
+/// the monitor thread recorded during healthy operation (empty unless
+/// `cfg.sampling.enabled`), ready for `Trace::with_samples`.
 pub struct ThreadedRun {
     pub procs: Vec<Process>,
     pub stats: Arc<ThreadedStats>,
     pub health: Vec<HealthReport>,
+    pub samples: Vec<(Sample, usize)>,
 }
 
 /// The full-fidelity entry point: [`run_concurrent_collection_with_faults`]
@@ -377,7 +380,12 @@ pub fn run_concurrent_collection_observed(
         }));
     }
 
-    let monitor_handle = (cfg.watchdog.enabled && n > 0).then(|| {
+    // One monitor thread serves both observability duties: watchdog stall
+    // detection and periodic healthy-run sampling share the same polling
+    // loop (and the same heartbeat snapshot per poll), so enabling either
+    // spawns it.
+    let sampler = Arc::new(Mutex::new(Sampler::new(&cfg.sampling, n)));
+    let monitor_handle = ((cfg.watchdog.enabled || cfg.sampling.enabled) && n > 0).then(|| {
         let mctx = MonitorCtx {
             hb: Arc::clone(&heartbeats),
             tails: tails.clone(),
@@ -387,6 +395,8 @@ pub fn run_concurrent_collection_observed(
             start,
             reports: Arc::clone(&reports),
             on_report: on_report.clone(),
+            stats: Arc::clone(&stats),
+            sampler: Arc::clone(&sampler),
         };
         thread::spawn(move || monitor(mctx))
     });
@@ -424,10 +434,12 @@ pub fn run_concurrent_collection_observed(
         })
         .collect();
     let health = std::mem::take(&mut *reports.lock());
+    let samples = sampler.lock().export();
     ThreadedRun {
         procs,
         stats,
         health,
+        samples,
     }
 }
 
@@ -448,13 +460,26 @@ struct MonitorCtx {
     start: Instant,
     reports: Arc<Mutex<Vec<HealthReport>>>,
     on_report: Option<ReportHook>,
+    stats: Arc<ThreadedStats>,
+    sampler: Arc<Mutex<Sampler>>,
 }
 
-/// The watchdog loop: poll the heartbeat slots every `poll_every`, emit a
-/// stall [`HealthReport`] when any worker's beat goes older than
-/// `stall_after`. Runs until every worker has fully exited — not merely
-/// until the stop flag — because a worker wedged during its final drain is
-/// still a stall worth seeing.
+/// The monitor loop, shared by two observers of the same heartbeat poll:
+///
+/// * **watchdog** (`wcfg.enabled`): emit a stall [`HealthReport`] when any
+///   worker's beat goes older than `stall_after`;
+/// * **sampler** (`cfg.sampling.enabled`): every `sample_every` polls
+///   during *healthy* operation, record one telemetry [`Sample`] per
+///   worker plus the global aggregate — deduped by beat (a poll where no
+///   worker advanced its heartbeat records nothing), so an idle tail does
+///   not pad the series with identical rows.
+///
+/// The loop takes exactly one heartbeat snapshot per poll and feeds both
+/// consumers from it; worker state is read `try_lock`-only (carrying the
+/// last known values on failure), so the monitor can never deadlock
+/// behind a wedged worker. Runs until every worker has fully exited —
+/// not merely until the stop flag — because a worker wedged during its
+/// final drain is still a stall worth seeing.
 fn monitor(ctx: MonitorCtx) {
     let stall_after_us = ctx.wcfg.stall_after.as_ticks().max(1);
     let poll = Duration::from_micros(ctx.wcfg.poll_every.as_ticks().max(1_000));
@@ -463,13 +488,22 @@ fn monitor(ctx: MonitorCtx) {
     // one report, a *new* beat followed by a new silence is a new episode.
     let mut reported_beat: Vec<u64> = vec![u64::MAX; ctx.hb.len()];
     let mut stall_reports = 0usize;
+    let mut polls = 0u64;
+    let mut sampling = SamplingState::new(ctx.hb.len());
     while ctx.quiescence.workers_done.load(Ordering::SeqCst) < workers {
         thread::sleep(poll);
-        if stall_reports >= ctx.wcfg.max_stall_reports {
-            continue; // keep waiting for exit, but stop reporting
-        }
+        polls += 1;
+        // The hoisted per-poll pass: one beats snapshot, one timestamp.
         let beats = ctx.hb.snapshot();
         let now_us = ctx.start.elapsed().as_micros() as u64;
+
+        if ctx.sampler.lock().due(polls) {
+            sampling.sample_tick(&ctx, now_us, polls, &beats);
+        }
+
+        if !ctx.wcfg.enabled || stall_reports >= ctx.wcfg.max_stall_reports {
+            continue; // keep polling (sampling/exit), but report no stalls
+        }
         let stalled: Vec<bool> = beats
             .iter()
             .enumerate()
@@ -500,6 +534,107 @@ fn monitor(ctx: MonitorCtx) {
         }
         ctx.reports.lock().push(report);
         stall_reports += 1;
+    }
+}
+
+/// The monitor's sampling memory: the beat values at the last recorded
+/// sample (for dedup) and each worker's last successfully read sample
+/// (carried forward when the worker holds its process lock at poll time).
+struct SamplingState {
+    last_sampled_beats: Vec<u64>,
+    carried: Vec<Sample>,
+}
+
+impl SamplingState {
+    fn new(workers: usize) -> Self {
+        SamplingState {
+            last_sampled_beats: vec![u64::MAX; workers],
+            carried: vec![Sample::default(); workers],
+        }
+    }
+
+    /// Record one sampling tick from the poll's heartbeat snapshot.
+    ///
+    /// Per-worker gauges and counters come from the process behind a
+    /// `try_lock` (a worker mid-sweep keeps its lock; we carry the last
+    /// known values rather than block — counters stay monotone because
+    /// the carried value is an earlier read of a monotone ledger).
+    /// Global counters come from the lock-free [`ThreadedStats`] /
+    /// [`Quiescence`] atomics. `scions_reclaimed` is `scions_deleted`
+    /// globally (the shared stats do not split out the acyclic layer)
+    /// but includes both layers per process, mirroring the sequential
+    /// runtime.
+    fn sample_tick(&mut self, ctx: &MonitorCtx, now_us: u64, polls: u64, beats: &[Heartbeat]) {
+        // Dedup by beat: if no worker advanced since the last recorded
+        // sample, the system is idle and a new row would duplicate the
+        // previous one.
+        if beats
+            .iter()
+            .zip(&self.last_sampled_beats)
+            .all(|(b, &prev)| b.last_beat_us == prev)
+        {
+            return;
+        }
+        for (i, b) in beats.iter().enumerate() {
+            self.last_sampled_beats[i] = b.last_beat_us;
+        }
+        let at = SimTime(now_us);
+        let mut global = Sample {
+            at,
+            round: polls,
+            proc: None,
+            in_flight_cdms: ctx
+                .quiescence
+                .enqueued
+                .load(Ordering::SeqCst)
+                .saturating_sub(ctx.quiescence.drained.load(Ordering::SeqCst)),
+            votes_held: ctx.quiescence.votes.load(Ordering::SeqCst),
+            lgc_runs: ctx.stats.lgc_runs.load(Ordering::Relaxed),
+            snapshots: ctx.stats.snapshots.load(Ordering::Relaxed),
+            cdms_sent: ctx.stats.cdms_sent.load(Ordering::Relaxed),
+            cycles_detected: ctx.stats.cycles_detected.load(Ordering::Relaxed),
+            objects_reclaimed: ctx.stats.objects_reclaimed.load(Ordering::Relaxed),
+            scions_reclaimed: ctx.stats.scions_deleted.load(Ordering::Relaxed),
+            ..Sample::default()
+        };
+        let per_proc: Vec<Sample> = beats
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let prev = &self.carried[i];
+                let mut s = match ctx.cells[i].try_lock() {
+                    Some(p) => Sample {
+                        live_objects: p.heap.stats().live_objects as u64,
+                        candidates: p.candidates.tracked() as u64,
+                        max_backoff_attempt: u64::from(p.candidates.max_attempts()),
+                        lgc_runs: p.metrics.lgc_runs,
+                        snapshots: p.metrics.snapshots,
+                        cdms_sent: p.metrics.cdms_sent,
+                        cycles_detected: p.metrics.cycles_detected,
+                        objects_reclaimed: p.metrics.objects_reclaimed,
+                        scions_reclaimed: p.metrics.scions_reclaimed_acyclic
+                            + p.metrics.scions_deleted_by_dcda,
+                        ..Sample::default()
+                    },
+                    None => *prev,
+                };
+                s.at = at;
+                s.round = polls;
+                s.proc = Some(ProcId(i as u16));
+                s.inbox_depth = b.inbox_depth();
+                s.in_flight_cdms = b.inbox_depth();
+                s.votes_held = u64::from(b.voted);
+                self.carried[i] = s;
+                s
+            })
+            .collect();
+        for s in &per_proc {
+            global.live_objects += s.live_objects;
+            global.candidates += s.candidates;
+            global.max_backoff_attempt = global.max_backoff_attempt.max(s.max_backoff_attempt);
+            global.inbox_depth += s.inbox_depth;
+        }
+        ctx.sampler.lock().record(global, &per_proc);
     }
 }
 

@@ -2,13 +2,15 @@
 //! garbage rings collected concurrently while one worker is deliberately
 //! wedged mid-run. The watchdog names the stalled worker — including the
 //! events still sitting in its unflushed trace tail — and the run ends
-//! with the terminal health report plus a Prometheus-format metrics
-//! snapshot.
+//! with sparkline timelines from the periodic sampler, the terminal
+//! health report, and a Prometheus-format metrics snapshot.
 //!
 //! Run with `cargo run --example health_dashboard`.
 
-use acdgc::model::{GcConfig, NetConfig, ProcId, SimDuration, TraceConfig, WatchdogConfig};
-use acdgc::obs::{HealthReason, Trace};
+use acdgc::model::{
+    GcConfig, NetConfig, ProcId, SamplingConfig, SimDuration, TraceConfig, WatchdogConfig,
+};
+use acdgc::obs::{counter_rates, group_by_series, sparkline, HealthReason, Trace, GAUGE_FIELDS};
 use acdgc::sim::{merged_metrics, scenarios, threaded, System, ThreadedOptions};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -21,8 +23,15 @@ fn main() {
         watchdog: WatchdogConfig {
             enabled: true,
             stall_after: SimDuration::from_millis(40),
-            poll_every: SimDuration::from_millis(5),
+            poll_every: SimDuration::from_millis(2),
             max_stall_reports: 4,
+        },
+        // Time-series telemetry: the watchdog's poll doubles as the sample
+        // clock, so every healthy 5ms poll records one row per worker.
+        sampling: SamplingConfig {
+            enabled: true,
+            sample_every: 1,
+            capacity: 32,
         },
         ..GcConfig::manual()
     };
@@ -39,7 +48,13 @@ fn main() {
     // an iteration with its vote held — long past `stall_after`, so the
     // watchdog must flag it while the rest of the mesh keeps sweeping.
     let wedged_once = AtomicBool::new(false);
-    let sweep_hook: threaded::SweepHook = Arc::new(move |proc, _sweep, voted| {
+    let sweep_hook: threaded::SweepHook = Arc::new(move |proc, sweep, voted| {
+        // Pace the mesh like a real mutator: a little work per early sweep
+        // stretches the collection window far past the 2ms sample cadence,
+        // so the timelines below actually show the rings draining.
+        if sweep < 15 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
         if proc.0 == 4 && voted && !wedged_once.swap(true, Ordering::SeqCst) {
             std::thread::sleep(Duration::from_millis(120));
         }
@@ -78,6 +93,31 @@ fn main() {
         run.health.len(),
         terminal.reason.name()
     );
+
+    // Sparkline timelines from the sampler: one block per series (global
+    // aggregate first, then each worker), gauges as sparklines and the
+    // counters as a rate table — the same rendering `acdgc-report
+    // --timeline` applies to exported artifacts.
+    println!("\n== telemetry timelines ==");
+    for (proc, rows) in group_by_series(&run.samples) {
+        let label = match proc {
+            None => "global".to_string(),
+            Some(p) => format!("P{}", p.0),
+        };
+        let samples: Vec<_> = rows.iter().map(|(s, _)| *s).collect();
+        println!("[{label}] {} samples:", samples.len());
+        for (name, get) in GAUGE_FIELDS {
+            let values: Vec<u64> = samples.iter().map(get).collect();
+            let max = values.iter().copied().max().unwrap_or(0);
+            println!("  {:<20} {:<32} max={max}", name, sparkline(&values, 32));
+        }
+        for r in counter_rates(&samples) {
+            println!(
+                "  {:<20} total={:<8} avg/s={:<12.1} peak/s={:.1}",
+                r.name, r.total, r.per_sec_avg, r.per_sec_peak
+            );
+        }
+    }
 
     // The same data a scrape endpoint would serve: merged per-process
     // counters plus the cross-worker phase-latency histograms.

@@ -4,6 +4,12 @@
 //! cross-process CDM message path, and the per-phase latency histograms.
 //! The full trace is also exported as JSON Lines.
 //!
+//! This example covers *event* forensics; for the continuous time-series
+//! side (periodic gauge/counter sampling, sparkline timelines, rate
+//! derivation) see `examples/health_dashboard.rs` and the `--timeline`
+//! mode of `acdgc-report`, which renders the `sample` lines exported
+//! alongside these events.
+//!
 //! Run with `cargo run --example trace_timeline`.
 
 use acdgc::model::{GcConfig, NetConfig, ProcId, SimDuration, TraceConfig, WatchdogConfig};

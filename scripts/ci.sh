@@ -21,6 +21,9 @@ echo "==> threaded stress (release, seed matrix, traced, hard time budget)"
 # is dumped to the same directory, so the artifacts below are the first
 # place to look when this stage breaks.
 trace_dir="target/trace-artifacts"
+# Start clean: the forensics gates below must judge only artifacts this
+# run exported, not leftovers from older revisions with older schemas.
+rm -rf "$trace_dir" && mkdir -p "$trace_dir"
 if ! ACDGC_TRACE_ARTIFACT="$trace_dir" \
     timeout 300 cargo test -q --offline --release --test threaded_stress; then
     echo "threaded stress FAILED — trace artifacts kept under $trace_dir:" >&2
@@ -32,8 +35,28 @@ ls -l "$trace_dir"
 
 echo "==> trace forensics gate (acdgc-report --check)"
 # Every artifact the stress stage exported must reconstruct with balanced
-# detection ledgers and monotonic hop counters.
+# detection ledgers, monotonic hop counters, and — the stress config runs
+# with sampling enabled — validated time-series sample lines (monotone
+# clocks/counters, declared capacity bound).
+sampled_artifact="$(grep -l '"type":"sample"' "$trace_dir"/*.jsonl | head -n 1 || true)"
+if [ -z "$sampled_artifact" ]; then
+    echo "stress stage exported no sampled artifact (sampling config lost?)" >&2
+    exit 1
+fi
 cargo run -q --offline --release -p acdgc-bench --bin acdgc-report -- --check "$trace_dir"
+
+echo "==> timeline render gate (acdgc-report --timeline)"
+# The sampled artifact must render a non-empty timeline: at least one
+# sparkline row and a counter-rate table. An empty render means the
+# sampler, the JSONL round-trip, or the grouping went dark.
+timeline_out="$(cargo run -q --offline --release -p acdgc-bench --bin acdgc-report -- \
+    --timeline "$sampled_artifact")"
+echo "$timeline_out" | grep -q 'timeline \[global\]' || {
+    echo "--timeline rendered no global series" >&2; exit 1; }
+echo "$timeline_out" | grep -qE '█|▇|▆|▅|▄|▃|▂' || {
+    echo "--timeline sparklines are empty/flat-missing" >&2; exit 1; }
+echo "$timeline_out" | grep -q 'avg/s' || {
+    echo "--timeline printed no counter-rate table" >&2; exit 1; }
 
 echo "==> trace forensics gate (corrupted artifact must FAIL)"
 # Negative control: strip every cycle_detected line from a healthy
@@ -49,6 +72,20 @@ if cargo run -q --offline --release -p acdgc-bench --bin acdgc-report -- --check
     exit 1
 fi
 
+echo "==> sample stream gate (shuffled samples must FAIL --check)"
+# Second negative control, aimed at the time-series checker: reverse the
+# order of the sample lines in the sampled artifact. Timestamps and
+# counters are then non-monotone, so --check must reject it.
+{
+    grep -v '"type":"sample"' "$sampled_artifact"
+    grep '"type":"sample"' "$sampled_artifact" | tac
+} > "$corrupt_dir/samples-reversed.jsonl"
+if cargo run -q --offline --release -p acdgc-bench --bin acdgc-report -- \
+    --check "$corrupt_dir/samples-reversed.jsonl" > /dev/null 2>&1; then
+    echo "acdgc-report --check accepted a non-monotone sample stream" >&2
+    exit 1
+fi
+
 echo "==> parallel-phase determinism gate (release)"
 # The gc_round fan-out must be observationally identical with
 # parallel_snapshots/parallel_gc_phases on and off — every metric counter,
@@ -57,6 +94,9 @@ echo "==> parallel-phase determinism gate (release)"
 # not introduce scheduling-dependent behaviour that debug builds hide.
 cargo test -q --offline --release --test integration_modes \
     parallel_phases_are_observationally_identical
+# Same bar for telemetry sampling: observation must never perturb the run.
+cargo test -q --offline --release --test integration_modes \
+    sampling_leaves_the_metrics_ledgers_bit_identical
 
 echo "==> bench smoke (1-sample compile + run gate)"
 # The vendored criterion stand-in ignores CLI filters, so the smoke mode
@@ -65,6 +105,7 @@ echo "==> bench smoke (1-sample compile + run gate)"
 # This catches bit-rot in the bench harnesses without paying full runs.
 ACDGC_BENCH_SMOKE=1 cargo bench --offline -p acdgc-bench --bench summarization
 ACDGC_BENCH_SMOKE=1 cargo bench --offline -p acdgc-bench --bench gc_round
+ACDGC_BENCH_SMOKE=1 cargo bench --offline -p acdgc-bench --bench trace_overhead
 
 echo "==> clippy (-D warnings)"
 cargo clippy --offline --workspace --all-targets -- -D warnings

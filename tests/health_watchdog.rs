@@ -185,6 +185,74 @@ fn watchdog_can_be_disabled() {
 }
 
 #[test]
+fn sampler_records_bounded_validated_series_with_watchdog_off() {
+    use acdgc::model::{ProcId, SamplingConfig};
+    use acdgc::obs::{check_series, group_by_series};
+    // Watchdog disabled but sampling on: the monitor thread must still run,
+    // feed the sampler, and report no health — proving the hoisted polling
+    // loop serves sampling alone.
+    let cfg = GcConfig {
+        sampling: SamplingConfig {
+            enabled: true,
+            sample_every: 1,
+            capacity: 8,
+        },
+        watchdog: WatchdogConfig {
+            enabled: false,
+            poll_every: SimDuration::from_millis(1),
+            ..WatchdogConfig::default()
+        },
+        ..watchdog_cfg()
+    };
+    // Real garbage so the counters move while samples are taken.
+    let mut sys = System::new(4, cfg.clone(), NetConfig::instant(), 21);
+    let ids: Vec<ProcId> = (0..4).map(ProcId).collect();
+    acdgc::sim::scenarios::ring(&mut sys, &ids, 3, false);
+    // Stretch the run across several monitor polls: each worker pauses
+    // briefly during its early sweeps so the wall clock spans well past
+    // the 1ms poll cadence.
+    let sweep_hook: threaded::SweepHook = Arc::new(|_, sweep, _| {
+        if sweep < 10 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    });
+    let run = threaded::run_concurrent_collection_observed(
+        sys.into_procs(),
+        cfg,
+        ThreadedOptions {
+            sweep_hook: Some(sweep_hook),
+            deadline: Duration::from_secs(30),
+            ..ThreadedOptions::default()
+        },
+    );
+    assert!(run.stats.quiescent());
+    assert!(run.health.is_empty(), "watchdog off: no health reports");
+    assert!(!run.samples.is_empty(), "sampler recorded during the run");
+
+    let series = group_by_series(&run.samples);
+    assert!(
+        series.iter().any(|(p, _)| p.is_none()),
+        "global series present"
+    );
+    for (proc, rows) in &series {
+        let label = match proc {
+            None => "global".to_string(),
+            Some(p) => format!("P{}", p.0),
+        };
+        assert!(!rows.is_empty(), "{label}: series non-empty");
+        assert!(rows.len() <= 8, "{label}: capacity bound holds");
+        let violations = check_series(&label, rows);
+        assert!(violations.is_empty(), "{label}: {violations:?}");
+    }
+    // The global series saw reclamation happen: the ring was all garbage
+    // and the run quiesced, so the newest sample's counters are live data,
+    // not zeros.
+    let (_, global) = series.iter().find(|(p, _)| p.is_none()).unwrap();
+    let last = global.last().unwrap().0;
+    assert!(last.lgc_runs > 0, "counters flowed from ThreadedStats");
+}
+
+#[test]
 fn prometheus_exposition_covers_metrics_and_phases() {
     use acdgc::model::ProcId;
     use acdgc::sim::scenarios;

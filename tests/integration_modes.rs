@@ -152,6 +152,48 @@ fn parallel_phases_are_observationally_identical() {
 }
 
 #[test]
+fn sampling_leaves_the_metrics_ledgers_bit_identical() {
+    // Telemetry sampling is read-only observation: with the same seed and
+    // workload, runs with sampling on and off must agree on every counter,
+    // merged and per process, and on the final heap state — the sampler
+    // may copy gauges out of a round, never perturb one.
+    use acdgc::model::SamplingConfig;
+    let run = |sampling: SamplingConfig| {
+        let mut sys = System::new(
+            4,
+            GcConfig {
+                sampling,
+                ..GcConfig::manual()
+            },
+            NetConfig::default(),
+            74,
+        );
+        let procs: Vec<ProcId> = (0..4).map(ProcId).collect();
+        let _live = scenarios::ring(&mut sys, &procs, 3, true);
+        let _dead = scenarios::ring(&mut sys, &procs, 3, false);
+        let rounds = sys.collect_to_fixpoint(30);
+        let per_proc: Vec<_> = procs.iter().map(|&p| *sys.metrics_for(p)).collect();
+        (
+            rounds,
+            sys.metrics,
+            per_proc,
+            sys.total_live_objects(),
+            sys.total_scions(),
+            sys.clock(),
+        )
+    };
+    let off = run(SamplingConfig::default());
+    let on = run(SamplingConfig {
+        enabled: true,
+        sample_every: 1,
+        capacity: 16,
+    });
+    assert_eq!(off, on, "sampling changed observable behaviour");
+    assert_eq!(off.1.safety_violations(), 0);
+    assert_eq!(off.3, 13, "live rings + anchor survive (4*3+1)");
+}
+
+#[test]
 fn modes_agree_under_churn() {
     // Same seed, same workload, different integration mode: final state
     // must agree (the mode changes timing, never outcomes).

@@ -12,8 +12,10 @@
 //! round-trips every line through the vendored JSON parser) — scripts/ci.sh
 //! uses this to gate the JSONL schema.
 
-use acdgc::model::{GcConfig, NetConfig, ProcId, SimDuration, TraceConfig};
-use acdgc::obs::{HealthReport, Trace};
+use acdgc::model::{
+    GcConfig, NetConfig, ProcId, SamplingConfig, SimDuration, TraceConfig, WatchdogConfig,
+};
+use acdgc::obs::{HealthReport, Sample, Trace};
 use acdgc::sim::{scenarios, threaded, Process, System, ThreadedOptions};
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
@@ -29,6 +31,19 @@ fn stress_cfg(channel_capacity: usize) -> GcConfig {
         candidate_backoff_max: SimDuration::from_millis(5),
         channel_capacity,
         trace: TraceConfig::on(),
+        // Time-series telemetry rides in the same artifact: the monitor
+        // thread samples every poll into small rings, so long stress runs
+        // exercise decimation and `--check`'s sample validation for free.
+        sampling: SamplingConfig {
+            enabled: true,
+            sample_every: 1,
+            capacity: 64,
+        },
+        // Tight monitor poll so even a fast run yields a dense series.
+        watchdog: WatchdogConfig {
+            poll_every: SimDuration::from_millis(2),
+            ..WatchdogConfig::default()
+        },
         ..GcConfig::manual()
     }
 }
@@ -36,12 +51,17 @@ fn stress_cfg(channel_capacity: usize) -> GcConfig {
 /// Dump the merged trace of `procs` under `name` and return the path.
 /// Artifacts go to `$ACDGC_TRACE_ARTIFACT` when set, else to
 /// `target/trace-artifacts/`.
-fn dump_trace(procs: &[Process], health: &[HealthReport], name: &str) -> PathBuf {
+fn dump_trace(
+    procs: &[Process],
+    health: &[HealthReport],
+    samples: &[(Sample, usize)],
+    name: &str,
+) -> PathBuf {
     let dir = std::env::var_os("ACDGC_TRACE_ARTIFACT")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("target").join("trace-artifacts"));
     let path = dir.join(format!("{name}.jsonl"));
-    let trace = Trace::collect(procs.iter().map(|p| &p.obs));
+    let trace = Trace::collect(procs.iter().map(|p| &p.obs)).with_samples(samples.to_vec());
     trace.dump_jsonl(&path).expect("write trace artifact");
     // Watchdog health reports ride in the same artifact so `acdgc-report`
     // can render run health next to the event timeline.
@@ -62,7 +82,7 @@ fn dump_trace(procs: &[Process], health: &[HealthReport], name: &str) -> PathBuf
 macro_rules! check {
     ($run:expr, $name:expr, $cond:expr, $($msg:tt)+) => {
         if !$cond {
-            let path = dump_trace(&$run.procs, &$run.health, $name);
+            let path = dump_trace(&$run.procs, &$run.health, &$run.samples, $name);
             panic!("{} — trace kept at {}", format!($($msg)+), path.display());
         }
     };
@@ -70,11 +90,16 @@ macro_rules! check {
 
 /// When `ACDGC_TRACE_ARTIFACT` is set, export the trace on success too and
 /// verify the JSONL schema round-trips through the JSON parser.
-fn export_and_verify_jsonl(procs: &[Process], health: &[HealthReport], name: &str) {
+fn export_and_verify_jsonl(
+    procs: &[Process],
+    health: &[HealthReport],
+    samples: &[(Sample, usize)],
+    name: &str,
+) {
     if std::env::var_os("ACDGC_TRACE_ARTIFACT").is_none() {
         return;
     }
-    let path = dump_trace(procs, health, name);
+    let path = dump_trace(procs, health, samples, name);
     let text = std::fs::read_to_string(&path).expect("read back trace artifact");
     let mut lines = 0usize;
     for line in text.lines() {
@@ -170,7 +195,7 @@ fn capacity_one_mesh_collects_despite_overflow_and_faults() {
     let terminal = run.health.last().expect("terminal health report");
     assert_eq!(terminal.reason, acdgc::obs::HealthReason::Quiescent);
     assert!(terminal.stalled().is_empty(), "no worker stalled");
-    export_and_verify_jsonl(&run.procs, &run.health, name);
+    export_and_verify_jsonl(&run.procs, &run.health, &run.samples, name);
 }
 
 #[test]
@@ -220,7 +245,7 @@ fn quiescence_is_never_premature_across_seed_matrix() {
         total_retries += stats.nss_retries.load(Ordering::Relaxed);
         total_faults += stats.faults_injected.load(Ordering::Relaxed);
         if seed == 11 {
-            export_and_verify_jsonl(&run.procs, &run.health, &name);
+            export_and_verify_jsonl(&run.procs, &run.health, &run.samples, &name);
         }
     }
     // Across the whole matrix the fault model must actually have fired and
