@@ -8,7 +8,9 @@
 //! * `enabled`  — full recording of every family;
 //! * `filtered` — recording on, but only the detections family passes the
 //!   [`TraceFilter`] (NSS / phases / quiescence suppressed before any
-//!   event is built; phase histograms still fed).
+//!   event is built; phase histograms still fed);
+//! * `lamport_on` — full recording plus causal stamps: one extra relaxed
+//!   atomic tick per recorded event and a clock read per GC send.
 //!
 //! A second group measures time-series telemetry the same way: steady
 //! rounds of a live anchored ring with [`SamplingConfig`] off (one bool
@@ -69,10 +71,11 @@ fn detections_only() -> TraceConfig {
 fn bench_trace_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("trace_overhead");
     group.sample_size(if smoke() { 2 } else { 40 });
-    let variants: [(&str, TraceConfig); 3] = [
+    let variants: [(&str, TraceConfig); 4] = [
         ("disabled", TraceConfig::default()),
         ("enabled", TraceConfig::on()),
         ("filtered", detections_only()),
+        ("lamport_on", TraceConfig::causal()),
     ];
     for (name, trace) in variants {
         group.bench_with_input(BenchmarkId::new("ring_detection", name), &(), |b, _| {

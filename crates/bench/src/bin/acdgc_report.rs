@@ -11,57 +11,91 @@
 //!   `Trace::check`;
 //! * a watchdog/health summary from any `health_report` lines;
 //! * with `--timeline`, ASCII sparkline timelines and a counter-rate
-//!   table for every `sample` time series in the artifact.
+//!   table for every `sample` time series in the artifact;
+//! * with `--critical-path`, a latency waterfall per slowest detection,
+//!   attributing its end-to-end time to transit / queue / handling /
+//!   backoff segments (requires Lamport-stamped artifacts for the causal
+//!   verdict; the waterfall itself works on any trace);
+//! * with `--perfetto OUT.json`, a Chrome trace-event export of a single
+//!   artifact — one track per process, flow arrows along CDM hops —
+//!   loadable at <https://ui.perfetto.dev>.
 //!
 //! Usage:
 //!
 //! ```text
-//! acdgc-report [--check] [--timeline] [--top N] [PATH ...]
+//! acdgc-report [--check] [--timeline] [--critical-path] \
+//!              [--perfetto OUT.json] [--top N] [PATH ...]
 //! ```
 //!
 //! `PATH` entries may be `.jsonl` files or directories (scanned for
 //! `*.jsonl`); the default is `target/trace-artifacts`. With `--check`
 //! the exit code is non-zero when any artifact has a ledger,
-//! hop-monotonicity, or time-series violation (CI gates on this; see
-//! scripts/ci.sh). Artifacts whose ring overflowed (`overwritten > 0`)
-//! are suffix traces: their event checks are skipped, but sample series
-//! are still validated — decimation bounds a series without ever
-//! overwriting it, so sample lines are exact at any length.
+//! hop-monotonicity, causal-order, or time-series violation (CI gates on
+//! this; see scripts/ci.sh). Artifacts whose ring overflowed
+//! (`overwritten > 0`) are suffix traces: their balance checks are
+//! skipped, but sample series and causal order are still validated —
+//! decimation never overwrites a series, and both causal invariants are
+//! stable under truncation, so they hold on any suffix.
 
 use acdgc_obs::{
-    counter_rates, group_by_series, sparkline, HealthReport, Phase, Sample, Trace, GAUGE_FIELDS,
+    counter_rates, group_by_series, perfetto_trace, sparkline, top_waterfalls, HealthReport, Phase,
+    Sample, Trace, GAUGE_FIELDS,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: acdgc-report [--check] [--timeline] [--critical-path] \
+                     [--perfetto OUT.json] [--top N] [PATH ...]";
+
+#[derive(Debug)]
 struct Options {
     check: bool,
     timeline: bool,
+    critical_path: bool,
+    perfetto: Option<PathBuf>,
     top: usize,
     paths: Vec<PathBuf>,
 }
 
-fn parse_args() -> Result<Options, String> {
+/// Parse a raw argument list (program name already stripped). Split from
+/// `main` so the flag grammar is unit-testable; any string starting with
+/// `-` that is not a known flag is a usage error, never an artifact path.
+fn parse_args_from<I: IntoIterator<Item = String>>(raw: I) -> Result<Options, String> {
     let mut opts = Options {
         check: false,
         timeline: false,
+        critical_path: false,
+        perfetto: None,
         top: 3,
         paths: Vec::new(),
     };
-    let mut args = std::env::args().skip(1);
+    let mut args = raw.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--check" => opts.check = true,
             "--timeline" => opts.timeline = true,
+            "--critical-path" => opts.critical_path = true,
+            "--perfetto" => {
+                let out = args
+                    .next()
+                    .ok_or(format!("--perfetto needs an output path\n{USAGE}"))?;
+                opts.perfetto = Some(PathBuf::from(out));
+            }
             "--top" => {
-                let n = args.next().ok_or("--top needs a number")?;
-                opts.top = n.parse().map_err(|_| format!("bad --top value {n:?}"))?;
+                let n = args
+                    .next()
+                    .ok_or(format!("--top needs a number\n{USAGE}"))?;
+                opts.top = n
+                    .parse()
+                    .map_err(|_| format!("bad --top value {n:?}\n{USAGE}"))?;
             }
             "--help" | "-h" => {
-                println!("usage: acdgc-report [--check] [--timeline] [--top N] [PATH ...]");
+                println!("{USAGE}");
                 std::process::exit(0);
             }
-            other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other:?}\n{USAGE}"))
+            }
             path => opts.paths.push(PathBuf::from(path)),
         }
     }
@@ -69,6 +103,10 @@ fn parse_args() -> Result<Options, String> {
         opts.paths.push(PathBuf::from("target/trace-artifacts"));
     }
     Ok(opts)
+}
+
+fn parse_args() -> Result<Options, String> {
+    parse_args_from(std::env::args().skip(1))
 }
 
 /// Expand files/directories into the list of `.jsonl` artifacts.
@@ -238,6 +276,63 @@ fn report_timeline(trace: &Trace) {
     }
 }
 
+/// Render the top-k slowest detections as critical-path waterfalls: each
+/// row attributes the detection's end-to-end latency to transit / queue /
+/// handling / backoff segments that sum exactly to the total.
+fn report_critical_path(trace: &Trace, top: usize) {
+    const WIDTH: usize = 48;
+    let falls = top_waterfalls(trace, top.max(1));
+    if falls.is_empty() {
+        println!("  critical-path: no reconstructable detections in this artifact");
+        return;
+    }
+    let clocked = trace.events.iter().filter(|r| r.lamport > 0).count();
+    println!(
+        "  critical-path: {} waterfall(s), runtime={}, {} of {} events lamport-stamped",
+        falls.len(),
+        trace.runtime.as_deref().unwrap_or("unknown"),
+        clocked,
+        trace.events.len(),
+    );
+    for fall in &falls {
+        for line in fall.render(WIDTH).lines() {
+            println!("    {line}");
+        }
+    }
+}
+
+/// Write one artifact's Chrome trace-event export and self-validate it:
+/// the written file must parse back as JSON, and every surviving CDM
+/// delivery must have produced exactly one flow arrow. Returns the number
+/// of violations (0 or 1) so `--check` can gate on a broken export.
+fn export_perfetto(trace: &Trace, out: &PathBuf) -> usize {
+    let (doc, summary) = perfetto_trace(trace);
+    let text = serde_json::to_string(&doc).expect("value serialization is infallible");
+    if let Err(e) = std::fs::write(out, &text) {
+        eprintln!("acdgc-report: write {}: {e}", out.display());
+        return 1;
+    }
+    let round_trip = std::fs::read_to_string(out)
+        .ok()
+        .and_then(|t| serde_json::from_str(&t).ok());
+    if round_trip.is_none() {
+        println!(
+            "  perfetto: FAILED ({} does not round-trip as JSON)",
+            out.display()
+        );
+        return 1;
+    }
+    println!(
+        "  perfetto: wrote {} ({} events, {} flows, {} delivered hops, {} unmatched)",
+        out.display(),
+        summary.events,
+        summary.flows,
+        summary.delivered_hops,
+        summary.unmatched_deliveries,
+    );
+    0
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -268,6 +363,13 @@ fn main() -> ExitCode {
         } else {
             ExitCode::SUCCESS
         };
+    }
+    if opts.perfetto.is_some() && files.len() > 1 {
+        eprintln!(
+            "acdgc-report: --perfetto exports one artifact but {} matched; pass a single .jsonl file",
+            files.len()
+        );
+        return ExitCode::from(2);
     }
 
     let mut violations = 0usize;
@@ -300,6 +402,12 @@ fn main() -> ExitCode {
         if opts.timeline {
             report_timeline(&trace);
         }
+        if opts.critical_path {
+            report_critical_path(&trace, opts.top);
+        }
+        if let Some(out) = &opts.perfetto {
+            violations += export_perfetto(&trace, out);
+        }
 
         let check = trace.check();
         // Sample series are exact at any length (decimation never
@@ -319,6 +427,21 @@ fn main() -> ExitCode {
                 "  samples: OK ({} lines: monotone clocks/counters, capacity bounded)",
                 trace.samples.len()
             );
+        }
+        // Both causal invariants (per-process stamp monotonicity, receive
+        // above matching send) are stable under truncation, so like the
+        // sample checks their verdict applies even to suffix traces.
+        if !check.causal_violations.is_empty() {
+            println!(
+                "  causal: FAILED ({} violation(s))",
+                check.causal_violations.len()
+            );
+            for v in &check.causal_violations {
+                println!("    VIOLATION: {v}");
+            }
+            violations += check.causal_violations.len();
+        } else if trace.events.iter().any(|r| r.lamport > 0) {
+            println!("  causal: OK (stamps monotone per process, receives above sends)");
         }
         if check.skipped_overwritten {
             println!("  check: SKIPPED (suffix trace: ring overwrote events)");
@@ -347,4 +470,65 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        parse_args_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn known_flags_and_paths_parse() {
+        let o = parse(&[
+            "--check",
+            "--timeline",
+            "--critical-path",
+            "--perfetto",
+            "out.json",
+            "--top",
+            "7",
+            "a.jsonl",
+            "dir",
+        ])
+        .unwrap();
+        assert!(o.check && o.timeline && o.critical_path);
+        assert_eq!(
+            o.perfetto.as_deref(),
+            Some(std::path::Path::new("out.json"))
+        );
+        assert_eq!(o.top, 7);
+        assert_eq!(
+            o.paths,
+            vec![PathBuf::from("a.jsonl"), PathBuf::from("dir")]
+        );
+    }
+
+    #[test]
+    fn unknown_flags_are_usage_errors_not_paths() {
+        for bad in ["--perfeto", "--criticalpath", "-x", "--check=1"] {
+            let err = parse(&[bad, "a.jsonl"]).unwrap_err();
+            assert!(
+                err.contains("unknown flag") && err.contains(USAGE),
+                "{bad:?} must be rejected with usage, got: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn flags_missing_their_value_are_usage_errors() {
+        for args in [&["--perfetto"][..], &["--top"][..]] {
+            let err = parse(args).unwrap_err();
+            assert!(err.contains(USAGE), "missing value must show usage: {err}");
+        }
+        assert!(parse(&["--top", "x"]).unwrap_err().contains("bad --top"));
+    }
+
+    #[test]
+    fn no_paths_defaults_to_the_ci_artifact_dir() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.paths, vec![PathBuf::from("target/trace-artifacts")]);
+    }
 }

@@ -84,6 +84,12 @@ pub struct TraceConfig {
     /// truncated trace is never mistaken for a complete one).
     pub capacity: usize,
     pub filter: TraceFilter,
+    /// Stamp every recorded event with a per-process Lamport clock and
+    /// piggyback the clock on every GC message, giving the trace a sound
+    /// happens-before order (see the `acdgc-obs` crate's `causal` module).
+    /// Off by default: clocked traces cost one extra atomic per recorded
+    /// event and 8 bytes per message envelope.
+    pub lamport: bool,
 }
 
 impl Default for TraceConfig {
@@ -92,6 +98,7 @@ impl Default for TraceConfig {
             enabled: false,
             capacity: 65_536,
             filter: TraceFilter::default(),
+            lamport: false,
         }
     }
 }
@@ -101,6 +108,16 @@ impl TraceConfig {
     pub fn on() -> Self {
         TraceConfig {
             enabled: true,
+            ..TraceConfig::default()
+        }
+    }
+
+    /// Tracing on with Lamport clocks: every event carries a causal stamp
+    /// and cross-process order becomes checkable/reconstructable.
+    pub fn causal() -> Self {
+        TraceConfig {
+            enabled: true,
+            lamport: true,
             ..TraceConfig::default()
         }
     }

@@ -29,6 +29,12 @@ pub struct Envelope<M> {
     pub seq: u64,
     /// Approximate wire size, for byte accounting.
     pub size_bytes: usize,
+    /// Piggybacked Lamport clock value of the sending process at send
+    /// time. `0` when causal tracing is off (`TraceConfig::lamport`);
+    /// receivers witness it into their own clock before recording
+    /// delivery-side events. Purely observational: delivery order and
+    /// fault injection never read it.
+    pub lamport: u64,
     pub payload: M,
 }
 
@@ -155,7 +161,8 @@ impl<M: Clone> Network<M> {
         }
     }
 
-    /// Submit a message at simulated time `now`.
+    /// Submit a message at simulated time `now` (no causal stamp; see
+    /// [`Network::send_clocked`]).
     pub fn send(
         &mut self,
         now: SimTime,
@@ -163,6 +170,23 @@ impl<M: Clone> Network<M> {
         dst: ProcId,
         class: MessageClass,
         size_bytes: usize,
+        payload: M,
+    ) -> SendOutcome {
+        self.send_clocked(now, src, dst, class, size_bytes, 0, payload)
+    }
+
+    /// Submit a message carrying the sender's Lamport clock value, so a
+    /// causally traced receiver can witness it on delivery. `lamport` is
+    /// carried verbatim on every copy (duplicates included).
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_clocked(
+        &mut self,
+        now: SimTime,
+        src: ProcId,
+        dst: ProcId,
+        class: MessageClass,
+        size_bytes: usize,
+        lamport: u64,
         payload: M,
     ) -> SendOutcome {
         self.stats.sent += 1;
@@ -211,6 +235,7 @@ impl<M: Clone> Network<M> {
                 deliver_at,
                 seq,
                 size_bytes,
+                lamport,
                 payload: payload.clone(),
             }));
         }
@@ -272,6 +297,29 @@ mod tests {
         }
         let order: Vec<u32> = std::iter::from_fn(|| n.pop_next().map(|e| e.payload)).collect();
         assert_eq!(order, vec![0, 1, 2, 3, 4], "ties broken by send sequence");
+    }
+
+    #[test]
+    fn clocked_sends_carry_the_stamp_on_every_copy() {
+        let cfg = NetConfig {
+            gc_duplicate_probability: 1.0,
+            ..NetConfig::default()
+        };
+        let mut n = net(cfg, 3);
+        n.send_clocked(SimTime(0), ProcId(0), ProcId(1), MessageClass::Gc, 8, 42, 7);
+        let envs: Vec<_> = std::iter::from_fn(|| n.pop_next()).collect();
+        assert_eq!(envs.len(), 2, "duplicated");
+        assert!(envs.iter().all(|e| e.lamport == 42));
+        // The plain path stamps 0 (unclocked).
+        n.send(
+            SimTime(1),
+            ProcId(0),
+            ProcId(1),
+            MessageClass::Application,
+            8,
+            9,
+        );
+        assert_eq!(n.pop_next().unwrap().lamport, 0);
     }
 
     #[test]

@@ -581,12 +581,17 @@ pub struct Recorded {
     pub seq: u64,
     pub at: SimTime,
     pub proc: ProcId,
+    /// Lamport stamp assigned by the recording process's logical clock.
+    /// `0` means the trace ran without clocks (`TraceConfig::lamport`
+    /// off); real stamps start at 1 and strictly increase per process.
+    pub lamport: u64,
     pub event: Event,
 }
 
 impl Recorded {
     /// One flat JSON object per event — the JSONL schema (documented in
-    /// DESIGN.md §Observability).
+    /// DESIGN.md §Observability). The `lc` key is emitted only for
+    /// clocked events, so unclocked artifacts keep their old shape.
     pub fn to_json(&self) -> Value {
         let mut v = json!({
             "seq": self.seq,
@@ -598,12 +603,16 @@ impl Recorded {
             Value::Object(m) => m,
             _ => unreachable!(),
         };
+        if self.lamport > 0 {
+            obj.insert("lc".into(), json!(self.lamport));
+        }
         self.event.payload_into(obj);
         v
     }
 
     /// Inverse of [`Recorded::to_json`], for re-ingesting JSONL exports
     /// (`acdgc-report`). `None` when the object is not an event line.
+    /// A missing `lc` parses as 0, so pre-clock artifacts still load.
     pub fn from_json(v: &Value) -> Option<Recorded> {
         let m = match v {
             Value::Object(m) => m,
@@ -614,6 +623,7 @@ impl Recorded {
             seq: field_u64(m, "seq")?,
             at: SimTime(field_u64(m, "at_us")?),
             proc: ProcId(field_u16(m, "proc")?),
+            lamport: field_u64(m, "lc").unwrap_or(0),
             event: Event::from_json(kind, m)?,
         })
     }
@@ -681,6 +691,7 @@ mod tests {
             seq: 17,
             at: SimTime(42),
             proc: ProcId(3),
+            lamport: 9,
             event: Event::CdmSent {
                 id: DetectionId(7),
                 to: ProcId(4),
@@ -695,6 +706,24 @@ mod tests {
         assert!(line.contains("\"type\":\"cdm_sent\""), "{line}");
         assert!(line.contains("\"seq\":17"), "{line}");
         assert!(line.contains("\"hop\":2"), "{line}");
+        assert!(line.contains("\"lc\":9"), "{line}");
+    }
+
+    #[test]
+    fn unclocked_events_omit_the_lamport_key_and_parse_back_as_zero() {
+        let r = Recorded {
+            seq: 1,
+            at: SimTime(2),
+            proc: ProcId(0),
+            lamport: 0,
+            event: Event::VoteCast { sweep: 4 },
+        };
+        let line = serde_json::to_string(&r.to_json()).unwrap();
+        assert!(!line.contains("\"lc\""), "{line}");
+        let parsed = serde_json::from_str(&line).unwrap();
+        let back = Recorded::from_json(&parsed).unwrap();
+        assert_eq!(back.lamport, 0);
+        assert_eq!(back, r);
     }
 
     /// Every variant must survive a JSON round trip exactly — the report
@@ -790,6 +819,7 @@ mod tests {
                 seq: i as u64,
                 at: SimTime(100 + i as u64),
                 proc: ProcId(3),
+                lamport: 1 + i as u64,
                 event,
             };
             let line = serde_json::to_string(&rec.to_json()).unwrap();

@@ -256,6 +256,10 @@ impl PhaseHistograms {
         if self.total_count() == 0 {
             return;
         }
+        out.push_str(
+            "# HELP acdgc_phase_duration_nanoseconds On-CPU time per collector phase \
+             (log2 buckets, nanoseconds).\n",
+        );
         out.push_str("# TYPE acdgc_phase_duration_nanoseconds histogram\n");
         for phase in Phase::ALL {
             let h = self.get(phase);
@@ -419,7 +423,13 @@ mod tests {
         p.record(Phase::Lgc, 1000); // bucket upper 1024
         let mut out = String::new();
         p.to_prometheus_into(&mut out);
-        assert!(out.starts_with("# TYPE acdgc_phase_duration_nanoseconds histogram\n"));
+        assert!(out.starts_with("# HELP acdgc_phase_duration_nanoseconds "));
+        let help_idx = out.find("# HELP").unwrap();
+        let type_idx = out.find("# TYPE acdgc_phase_duration_nanoseconds histogram\n");
+        assert!(
+            type_idx.is_some() && help_idx < type_idx.unwrap(),
+            "# HELP precedes # TYPE:\n{out}"
+        );
         let get = |needle: &str| {
             out.lines()
                 .find(|l| l.starts_with(needle))

@@ -24,18 +24,28 @@
 //! * time-series telemetry ([`timeseries`]): a [`Sampler`] of periodic
 //!   per-process and global gauge/counter [`Sample`]s in bounded
 //!   decimating [`TimeSeries`] rings, exported as `sample` JSONL lines
-//!   and rendered as sparkline timelines by `acdgc-report --timeline`.
+//!   and rendered as sparkline timelines by `acdgc-report --timeline`;
+//! * a causal layer ([`causal`]): per-process [`LamportClock`]s stamped
+//!   on every event and piggybacked on every GC message, happens-before
+//!   soundness checks ([`check_causal`]), critical-path latency
+//!   [`Waterfall`]s, and Chrome trace-event export ([`perfetto_trace`])
+//!   loadable in Perfetto.
 //!
 //! The crate sits below `heap`/`remoting`/`snapshot`/`sim` so every layer
 //! can report events without dependency cycles; runtimes own the sinks
 //! (one per process) and decide when to collect.
 
+pub mod causal;
 pub mod event;
 pub mod health;
 pub mod hist;
 pub mod timeseries;
 pub mod trace;
 
+pub use causal::{
+    check_causal, perfetto_trace, top_waterfalls, waterfall, LamportClock, PerfettoSummary,
+    Segment, SegmentKind, Waterfall,
+};
 pub use event::{DropReason, Event, Phase, Recorded, TermReason};
 pub use health::{
     HealthReason, HealthReport, Heartbeat, HeartbeatSlot, Heartbeats, WorkerHealth, WorkerStage,

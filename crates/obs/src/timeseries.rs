@@ -160,6 +160,11 @@ impl Sample {
     pub fn to_prometheus_into(&self, out: &mut String) {
         use std::fmt::Write as _;
         for (name, get) in GAUGE_FIELDS {
+            let _ = writeln!(
+                out,
+                "# HELP acdgc_{name} Point-in-time {} gauge from the latest telemetry sample.",
+                name.replace('_', " ")
+            );
             let _ = writeln!(out, "# TYPE acdgc_{name} gauge");
             let _ = writeln!(out, "acdgc_{name} {}", get(self));
         }

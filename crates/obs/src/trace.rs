@@ -1,6 +1,7 @@
 //! Per-process ring buffers ([`ProcTrace`]), the collected cross-process
 //! view ([`Trace`]), and detection forensics ([`DetectionPath`]).
 
+use crate::causal::{check_causal, LamportClock};
 use crate::event::{field_str, field_u16, field_u64, Event, Phase, Recorded};
 use crate::health::HealthReport;
 use crate::hist::PhaseHistograms;
@@ -29,6 +30,13 @@ pub struct ProcTrace {
     enabled: bool,
     filter: TraceFilter,
     capacity: usize,
+    /// Whether recorded events carry Lamport stamps
+    /// (`TraceConfig::lamport`).
+    lamport: bool,
+    /// This process's logical clock. Shared (`Arc` inside) with the
+    /// embedding runtime so message send/receive paths can read and
+    /// witness it without holding the trace sink.
+    clock: LamportClock,
     seq: Arc<AtomicU64>,
     /// Ring storage: grows to `capacity`, then wraps at `head`.
     buf: Vec<Recorded>,
@@ -44,6 +52,8 @@ impl ProcTrace {
             enabled: cfg.enabled && cfg.capacity > 0,
             filter: cfg.filter,
             capacity: cfg.capacity.max(1),
+            lamport: cfg.lamport,
+            clock: LamportClock::new(),
             seq: Arc::new(AtomicU64::new(0)),
             buf: Vec::new(),
             head: 0,
@@ -91,6 +101,40 @@ impl ProcTrace {
         Arc::clone(&self.seq)
     }
 
+    /// Whether events are Lamport-stamped (enabled *and* clocked).
+    #[inline]
+    pub fn lamport_enabled(&self) -> bool {
+        self.enabled && self.lamport
+    }
+
+    /// A handle on this process's logical clock, for runtime paths that
+    /// tick or witness it without holding the sink (the threaded
+    /// runtime's workers stamp pending-tail events at record time).
+    pub fn clock_handle(&self) -> LamportClock {
+        self.clock.clone()
+    }
+
+    /// Current clock value, to piggyback on an outgoing message. `0` when
+    /// clocks are off — receivers treat 0 as "no causal information".
+    #[inline]
+    pub fn clock_value(&self) -> u64 {
+        if self.lamport_enabled() {
+            self.clock.current()
+        } else {
+            0
+        }
+    }
+
+    /// Fold a piggybacked remote clock value into the local clock (the
+    /// message-receive half of the Lamport rules). Events recorded after
+    /// this are stamped above `observed`.
+    #[inline]
+    pub fn witness(&self, observed: u64) {
+        if self.lamport_enabled() {
+            self.clock.witness(observed);
+        }
+    }
+
     /// Re-apply a (possibly different) trace configuration, keeping
     /// already-buffered events. Used when processes built under one
     /// config are handed to a runtime with another.
@@ -98,6 +142,7 @@ impl ProcTrace {
         self.enabled = cfg.enabled && cfg.capacity > 0;
         self.filter = cfg.filter;
         self.capacity = cfg.capacity.max(1);
+        self.lamport = cfg.lamport;
     }
 
     /// Record one event (no-op when disabled or filtered out).
@@ -109,15 +154,32 @@ impl ProcTrace {
         self.push(at, event);
     }
 
+    /// Record an event that already carries a Lamport stamp. The threaded
+    /// runtime pre-assigns stamps when buffering events into its pending
+    /// tails, so the stamp reflects when the event *happened*; flushing
+    /// later through this path must not re-tick the clock.
+    pub fn record_stamped(&mut self, at: SimTime, lamport: u64, event: Event) {
+        if !self.enabled || !event.passes(&self.filter) {
+            return;
+        }
+        self.push_stamped(at, lamport, event);
+    }
+
     fn push(&mut self, at: SimTime, event: Event) {
         if !event.passes(&self.filter) {
             return;
         }
+        let lamport = if self.lamport { self.clock.tick() } else { 0 };
+        self.push_stamped(at, lamport, event);
+    }
+
+    fn push_stamped(&mut self, at: SimTime, lamport: u64, event: Event) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let rec = Recorded {
             seq,
             at,
             proc: self.proc,
+            lamport,
             event,
         };
         if self.buf.len() < self.capacity {
@@ -186,6 +248,10 @@ pub struct Trace {
     /// process), each paired with its series' declared capacity. Empty
     /// unless the run sampled (`SamplingConfig::enabled`).
     pub samples: Vec<(Sample, usize)>,
+    /// Which runtime produced the trace (`"sequential"` / `"threaded"`),
+    /// when known. Critical-path analysis uses it to label cross-process
+    /// gaps: simulated network transit vs real inbox queue wait.
+    pub runtime: Option<String>,
 }
 
 impl Trace {
@@ -208,6 +274,7 @@ impl Trace {
             overwritten,
             phases,
             samples: Vec::new(),
+            runtime: None,
         }
     }
 
@@ -215,6 +282,13 @@ impl Trace {
     /// `trace()` accessors can chain it onto [`Trace::collect`]).
     pub fn with_samples(mut self, samples: Vec<(Sample, usize)>) -> Trace {
         self.samples = samples;
+        self
+    }
+
+    /// Tag which runtime produced the trace (builder-style, like
+    /// [`Trace::with_samples`]).
+    pub fn with_runtime(mut self, runtime: &str) -> Trace {
+        self.runtime = Some(runtime.to_string());
         self
     }
 
@@ -269,11 +343,14 @@ impl Trace {
     /// object per event, one `phase_histograms` object per process, then
     /// one `sample` object per telemetry sample.
     pub fn to_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
-        let meta = json!({
+        let mut meta = json!({
             "type": "trace_meta",
             "events": self.events.len(),
             "overwritten": self.overwritten,
         });
+        if let (Some(rt), Value::Object(m)) = (&self.runtime, &mut meta) {
+            m.insert("runtime".into(), json!(rt.as_str()));
+        }
         writeln!(
             w,
             "{}",
@@ -345,6 +422,7 @@ impl Trace {
                 "trace_meta" => {
                     trace.overwritten = field_u64(m, "overwritten")
                         .ok_or_else(|| format!("line {lineno}: trace_meta without overwritten"))?;
+                    trace.runtime = field_str(m, "runtime").map(str::to_string);
                 }
                 "phase_histograms" => {
                     let proc =
@@ -399,6 +477,12 @@ impl Trace {
     /// rounds, monotone counters, and the capacity bound each `sample`
     /// line declares.
     ///
+    /// Lamport-clocked traces are additionally validated causally (see
+    /// [`crate::causal::check_causal`]): per-process stamps strictly
+    /// increase in seq order, and every paired receive carries a stamp
+    /// above its send. Both properties survive truncation, so like the
+    /// sample checks they run even on suffix traces.
+    ///
     /// A trace with ring overwrites is a suffix: the detection-ledger
     /// checks are skipped and [`TraceCheck::skipped_overwritten`] is set.
     /// Sample series never overwrite (they decimate), so the sample
@@ -409,6 +493,7 @@ impl Trace {
             hop_violations: Vec::new(),
             balance_violations: Vec::new(),
             sample_violations: Vec::new(),
+            causal_violations: check_causal(self),
             skipped_overwritten: self.overwritten > 0,
         };
         for (proc, series) in group_by_series(&self.samples) {
@@ -461,6 +546,10 @@ pub struct TraceCheck {
     /// regressing counters, capacity overruns). Checked even for suffix
     /// traces — sampling decimates instead of overwriting.
     pub sample_violations: Vec<String>,
+    /// Lamport-clock violations (per-process non-monotone stamps, receive
+    /// stamp ≤ send stamp). Checked even for suffix traces — a suffix of
+    /// a causally sound trace is itself causally sound.
+    pub causal_violations: Vec<String>,
     /// True when the trace had ring overwrites and the detection checks
     /// were skipped (a suffix trace cannot be balanced).
     pub skipped_overwritten: bool,
@@ -471,6 +560,7 @@ impl TraceCheck {
         self.hop_violations.is_empty()
             && self.balance_violations.is_empty()
             && self.sample_violations.is_empty()
+            && self.causal_violations.is_empty()
     }
 
     /// All violations, for printing.
@@ -479,6 +569,7 @@ impl TraceCheck {
             .iter()
             .chain(self.balance_violations.iter())
             .chain(self.sample_violations.iter())
+            .chain(self.causal_violations.iter())
     }
 }
 
@@ -616,6 +707,70 @@ impl DetectionPath {
         Ok(())
     }
 
+    /// Cross-process generalization of [`check_hops_increase`]: Lamport
+    /// stamps must strictly increase along the path — every event a
+    /// processing step emits is stamped above the step's opening event
+    /// (start/delivery), and every delivery is stamped above its matching
+    /// send. Trivially `Ok` on unclocked (or partially clocked) paths:
+    /// a stamp of 0 means "no causal information", not "time zero".
+    ///
+    /// [`check_hops_increase`]: DetectionPath::check_hops_increase
+    pub fn check_lamport_increases(&self) -> Result<(), String> {
+        use std::collections::HashMap;
+        if self.events.iter().any(|r| r.lamport == 0) {
+            return Ok(());
+        }
+        // Lamport stamp of the processing step currently open per process.
+        let mut step: HashMap<ProcId, u64> = HashMap::new();
+        // Minimum send stamp per (dest, via, hop) — duplicates share the
+        // route key, and any copy's delivery happens after the first send.
+        let mut sends: HashMap<(ProcId, u64, u32), u64> = HashMap::new();
+        for r in &self.events {
+            match r.event {
+                Event::DetectionStarted { .. } => {
+                    step.insert(r.proc, r.lamport);
+                }
+                Event::CdmSent { to, via, hop, .. } => {
+                    if let Some(&s) = step.get(&r.proc) {
+                        if r.lamport <= s {
+                            return Err(format!(
+                                "{}: lamport not increasing at {}: sent lc {} after step lc {s}",
+                                self.id, r.proc, r.lamport
+                            ));
+                        }
+                    }
+                    let e = sends.entry((to, via.0, hop)).or_insert(u64::MAX);
+                    *e = (*e).min(r.lamport);
+                }
+                Event::CdmDelivered { via, hop, .. } => {
+                    if let Some(&s) = sends.get(&(r.proc, via.0, hop)) {
+                        if r.lamport <= s {
+                            return Err(format!(
+                                "{}: receive lc {} ≤ send lc {s} at {} (via {via}, hop {hop})",
+                                self.id, r.lamport, r.proc
+                            ));
+                        }
+                    }
+                    step.insert(r.proc, r.lamport);
+                }
+                _ => {
+                    if let Some(&s) = step.get(&r.proc) {
+                        if r.lamport <= s {
+                            return Err(format!(
+                                "{}: lamport not increasing at {}: {} lc {} after step lc {s}",
+                                self.id,
+                                r.proc,
+                                r.event.kind(),
+                                r.lamport
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Render the cross-process message path, e.g.
     /// `d3: P2[r14] --r15(h1,3s/2t,112B)--> P5 --…--> cycle(7 scions)`.
     pub fn render(&self) -> String {
@@ -668,7 +823,7 @@ mod tests {
         TraceConfig {
             enabled: true,
             capacity,
-            filter: TraceFilter::default(),
+            ..TraceConfig::default()
         }
     }
 

@@ -168,11 +168,11 @@ impl Metrics {
     }
 
     /// Render every counter in Prometheus text exposition format:
-    /// `# TYPE acdgc_<field>_total counter` + value per counter, plus the
-    /// `acdgc_max_cdm_bytes` gauge. Metric names are the field names and
-    /// are documented in DESIGN.md §Runtime health; callers append phase
-    /// histograms via `PhaseHistograms::to_prometheus_into` for the full
-    /// scrape payload.
+    /// `# HELP` + `# TYPE acdgc_<field>_total counter` + value per
+    /// counter, plus the `acdgc_max_cdm_bytes` gauge. Metric names are the
+    /// field names and are documented in DESIGN.md §Runtime health;
+    /// callers append phase histograms via
+    /// `PhaseHistograms::to_prometheus_into` for the full scrape payload.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         self.to_prometheus_into(&mut out);
@@ -184,12 +184,21 @@ impl Metrics {
         macro_rules! expose {
             ($($f:ident),* $(,)?) => {
                 $(
-                    let _ = writeln!(out, "# TYPE acdgc_{}_total counter", stringify!($f));
-                    let _ = writeln!(out, "acdgc_{}_total {}", stringify!($f), self.$f);
+                    let name = stringify!($f);
+                    let _ = writeln!(
+                        out,
+                        "# HELP acdgc_{name}_total Cumulative {} count since process start.",
+                        name.replace('_', " ")
+                    );
+                    let _ = writeln!(out, "# TYPE acdgc_{name}_total counter");
+                    let _ = writeln!(out, "acdgc_{name}_total {}", self.$f);
                 )*
             };
         }
         for_each_counter!(expose);
+        out.push_str(
+            "# HELP acdgc_max_cdm_bytes Largest encoded CDM observed (high-water gauge).\n",
+        );
         out.push_str("# TYPE acdgc_max_cdm_bytes gauge\n");
         let _ = writeln!(out, "acdgc_max_cdm_bytes {}", self.max_cdm_bytes);
     }
@@ -282,10 +291,11 @@ mod tests {
         assert_eq!(merged.max_cdm_bytes, 100);
     }
 
-    /// Line-format sanity round trip: every exposition line must be either
-    /// a `# TYPE <name> <kind>` comment or `<name> <integer>`, every
-    /// `# TYPE` must be followed by its sample, and the parsed-back values
-    /// must equal the source fields.
+    /// Line-format sanity round trip: every exposition line must be a
+    /// `# HELP <name> <text>` comment, a `# TYPE <name> <kind>` comment,
+    /// or `<name> <integer>`; every `# TYPE` must immediately follow its
+    /// own non-empty `# HELP` and be followed by its sample; and the
+    /// parsed-back values must equal the source fields.
     #[test]
     fn prometheus_exposition_round_trips_line_format() {
         let m = Metrics {
@@ -298,8 +308,13 @@ mod tests {
         let text = m.to_prometheus();
         let mut parsed: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
         let mut announced: Option<String> = None;
+        let mut helped: Option<String> = None;
         for line in text.lines() {
-            if let Some(rest) = line.strip_prefix("# TYPE ") {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let (name, help) = rest.split_once(' ').expect("# HELP carries name + text");
+                assert!(!help.trim().is_empty(), "empty help text: {line}");
+                helped = Some(name.to_string());
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
                 let mut parts = rest.split(' ');
                 let name = parts.next().expect("# TYPE carries a metric name");
                 let kind = parts.next().expect("# TYPE carries a kind");
@@ -312,6 +327,11 @@ mod tests {
                     kind == "counter",
                     name.ends_with("_total"),
                     "counters (and only counters) use the _total suffix: {line}"
+                );
+                assert_eq!(
+                    helped.as_deref(),
+                    Some(name),
+                    "# TYPE must follow its own # HELP: {line}"
                 );
                 announced = Some(name.to_string());
             } else {

@@ -110,7 +110,9 @@ impl System {
     /// (empty when tracing is disabled), with any telemetry samples
     /// attached for JSONL export.
     pub fn trace(&self) -> Trace {
-        Trace::collect(self.procs.iter().map(|p| &p.obs)).with_samples(self.sampler.export())
+        Trace::collect(self.procs.iter().map(|p| &p.obs))
+            .with_samples(self.sampler.export())
+            .with_runtime("sequential")
     }
 
     /// The time-series telemetry recorded so far (empty series when
@@ -604,9 +606,10 @@ impl System {
                     retry: false,
                 },
             );
+            let lc = self.procs[p.index()].obs.clock_value();
             let size = m.size_bytes();
             self.net
-                .send(now, p, dest, MessageClass::Gc, size, SysMessage::Nss(m));
+                .send_clocked(now, p, dest, MessageClass::Gc, size, lc, SysMessage::Nss(m));
         }
     }
 
@@ -638,9 +641,10 @@ impl System {
                     retry: false,
                 },
             );
+            let lc = self.procs[p.index()].obs.clock_value();
             let size = m.size_bytes();
             self.net
-                .send(now, p, dest, MessageClass::Gc, size, SysMessage::Nss(m));
+                .send_clocked(now, p, dest, MessageClass::Gc, size, lc, SysMessage::Nss(m));
         }
     }
 
@@ -802,12 +806,14 @@ impl System {
                             bytes: size as u32,
                         },
                     );
-                    self.net.send(
+                    let lc = self.procs[p.index()].obs.clock_value();
+                    self.net.send_clocked(
                         now,
                         p,
                         ob.dest,
                         MessageClass::Gc,
                         size,
+                        lc,
                         SysMessage::Cdm {
                             via: ob.via,
                             cdm: ob.cdm,
@@ -831,7 +837,9 @@ impl System {
                     } else {
                         let msg = SysMessage::DeleteScion { scion, incarnation };
                         let size = msg.size_bytes();
-                        self.net.send(now, p, owner, MessageClass::Gc, size, msg);
+                        let lc = self.procs[p.index()].obs.clock_value();
+                        self.net
+                            .send_clocked(now, p, owner, MessageClass::Gc, size, lc, msg);
                     }
                 }
             }
@@ -910,6 +918,10 @@ impl System {
 
     fn dispatch(&mut self, env: Envelope<SysMessage>) {
         let dst = env.dst;
+        // Lamport receive rule: fold the sender's piggybacked clock in
+        // before any delivery-side event is recorded, so every event the
+        // delivery produces is stamped above the send.
+        self.procs[dst.index()].obs.witness(env.lamport);
         match env.payload {
             SysMessage::Invoke {
                 payload,

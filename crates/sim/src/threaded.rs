@@ -56,7 +56,7 @@ use acdgc_model::{
 use acdgc_obs::health::{
     HealthReason, HealthReport, Heartbeat, Heartbeats, WorkerHealth, WorkerStage,
 };
-use acdgc_obs::{DropReason, Event, Phase, Sample, Sampler, TermReason};
+use acdgc_obs::{DropReason, Event, LamportClock, Phase, Sample, Sampler, TermReason};
 use acdgc_remoting::{apply_new_set_stubs_observed, build_new_set_stubs, NewSetStubs};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -83,6 +83,16 @@ enum ThreadMsg {
         cdm: Cdm,
     },
     DeleteScion(RefId, u32),
+}
+
+/// What actually travels on a channel: the message plus the sender's
+/// piggybacked Lamport clock — the threaded counterpart of
+/// `acdgc_net::Envelope::lamport`. Zero when causal tracing is off;
+/// purely observational either way (no protocol decision reads it).
+#[derive(Clone)]
+struct ThreadEnvelope {
+    lamport: u64,
+    msg: ThreadMsg,
 }
 
 /// Counters shared across the threads.
@@ -333,8 +343,15 @@ pub fn run_concurrent_collection_observed(
         }
     }
 
-    let mut senders: Vec<Sender<ThreadMsg>> = Vec::with_capacity(n);
-    let mut receivers: Vec<Option<Receiver<ThreadMsg>>> = Vec::with_capacity(n);
+    // Per-process Lamport clock handles must be captured *before* the
+    // processes move into their mutex cells: the clock is the same atomic
+    // the process ring ticks on direct records, so worker-side tail stamps
+    // and in-lock stamps interleave on one counter per process.
+    let clocks: Vec<LamportClock> = procs.iter().map(|p| p.obs.clock_handle()).collect();
+    let lamport_on = cfg.trace.enabled && cfg.trace.lamport;
+
+    let mut senders: Vec<Sender<ThreadEnvelope>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Option<Receiver<ThreadEnvelope>>> = Vec::with_capacity(n);
     for _ in 0..n {
         // Bounded inboxes put a hard cap on runtime memory; capacity 0
         // would make every try_send fail, so clamp to at least 1.
@@ -359,6 +376,8 @@ pub fn run_concurrent_collection_observed(
             me: ProcId(i as u16),
             txs: senders.clone(),
             trace_on: cfg.trace.enabled,
+            lamport_on,
+            clock: clocks[i].clone(),
             cfg: cfg.clone(),
             net: net.clone(),
             rng: component_rng(seed, &format!("threaded-faults-{i}")),
@@ -447,8 +466,11 @@ pub fn run_concurrent_collection_observed(
 /// worker is the only writer (push on record, drain on flush); the monitor
 /// clones the contents under the lock when building a report. Both
 /// critical sections are a few pointer moves, so the lock never backs up
-/// the hot path the way locking the process ring would.
-type SharedTail = Arc<Mutex<Vec<(SimTime, Event)>>>;
+/// the hot path the way locking the process ring would. The middle `u64`
+/// is the Lamport stamp, pre-assigned at record time (0 when causal
+/// tracing is off) so a tail flushed late still carries the clock value
+/// the event actually happened at.
+type SharedTail = Arc<Mutex<Vec<(SimTime, u64, Event)>>>;
 
 /// Everything the watchdog monitor thread reads.
 struct MonitorCtx {
@@ -653,7 +675,13 @@ fn build_health_report(
         .iter()
         .enumerate()
         .map(|(i, b)| {
-            let pending_tail = tails[i].lock().clone();
+            // The health schema carries (time, event); the pre-assigned
+            // Lamport stamp only matters once the tail lands in the ring.
+            let pending_tail = tails[i]
+                .lock()
+                .iter()
+                .map(|(at, _, e)| (*at, e.clone()))
+                .collect();
             // try_lock: a worker stalled *inside* a sweep holds its
             // process lock; blocking on it would wedge the watchdog
             // behind the very stall it is reporting.
@@ -694,9 +722,17 @@ struct NssOutbound {
 /// cell and inbox.
 struct WorkerCtx {
     me: ProcId,
-    txs: Vec<Sender<ThreadMsg>>,
+    txs: Vec<Sender<ThreadEnvelope>>,
     /// `cfg.trace.enabled`, hoisted so hot paths branch on a bool.
     trace_on: bool,
+    /// `cfg.trace.enabled && cfg.trace.lamport`, hoisted likewise.
+    lamport_on: bool,
+    /// Handle on this process's Lamport clock — the same atomic the
+    /// process ring ticks on direct records, so tail stamps and in-lock
+    /// stamps share one per-process counter. Ticked when buffering into
+    /// the tail, read (not ticked) when piggybacking on a send, folded
+    /// forward (`witness`) on every receive.
+    clock: LamportClock,
     cfg: GcConfig,
     net: NetConfig,
     rng: SmallRng,
@@ -764,9 +800,16 @@ impl WorkerCtx {
     fn trace(&mut self, event: Event) {
         if self.trace_on {
             let at = self.now();
+            // Stamp now, not at flush: the tail may sit across several
+            // sweeps, and a late flush must not reorder the clock.
+            let lc = if self.lamport_on {
+                self.clock.tick()
+            } else {
+                0
+            };
             let len = {
                 let mut tail = self.tail.lock();
-                tail.push((at, event));
+                tail.push((at, lc, event));
                 tail.len()
             };
             self.hb.slot(self.me.index()).set_pending(len);
@@ -782,15 +825,15 @@ impl WorkerCtx {
             p.metrics.absorb(&self.local);
             self.local = Metrics::default();
         }
-        let drained: Vec<(SimTime, Event)> = {
+        let drained: Vec<(SimTime, u64, Event)> = {
             let mut tail = self.tail.lock();
             tail.drain(..).collect()
         };
         if !drained.is_empty() {
             self.hb.slot(self.me.index()).set_pending(0);
         }
-        for (at, event) in drained {
-            p.obs.record(at, event);
+        for (at, lc, event) in drained {
+            p.obs.record_stamped(at, lc, event);
         }
     }
 
@@ -840,8 +883,20 @@ impl WorkerCtx {
         } else {
             1
         };
+        // Piggyback the sender's current clock; every record that
+        // causally precedes this send has already ticked it, so the
+        // receiver's witness establishes receive > send.
+        let lamport = if self.lamport_on {
+            self.clock.current()
+        } else {
+            0
+        };
         for _ in 0..copies {
-            if self.txs[dest.index()].try_send(msg.clone()).is_ok() {
+            let env = ThreadEnvelope {
+                lamport,
+                msg: msg.clone(),
+            };
+            if self.txs[dest.index()].try_send(env).is_ok() {
                 self.quiescence.enqueued.fetch_add(1, Ordering::SeqCst);
                 self.hb.slot(dest.index()).note_enqueue();
             } else {
@@ -857,11 +912,18 @@ impl WorkerCtx {
     fn drain(
         &mut self,
         cell: &Arc<Mutex<Process>>,
-        rx: &Receiver<ThreadMsg>,
+        rx: &Receiver<ThreadEnvelope>,
         mode: DrainMode,
     ) -> u64 {
         let mut drained = 0u64;
-        while let Ok(msg) = rx.try_recv() {
+        while let Ok(env) = rx.try_recv() {
+            // Lamport receive rule, before any delivery-side event: every
+            // event this delivery triggers must stamp above the sender's
+            // clock at send time.
+            if self.lamport_on {
+                self.clock.witness(env.lamport);
+            }
+            let msg = env.msg;
             if self.voted && mode == DrainMode::Live {
                 // Rescind BEFORE the drain is counted: the quiescence
                 // checker relies on "a voted worker's receive is preceded
@@ -885,6 +947,11 @@ impl WorkerCtx {
                     {
                         let mut guard = cell.lock();
                         let p = &mut *guard;
+                        // Flush the pending tail first so direct records
+                        // below land after (in seq) the earlier-stamped
+                        // buffered events — keeps per-process stamps
+                        // monotone in ring order.
+                        self.flush_into(p);
                         let applied =
                             apply_new_set_stubs_observed(&mut p.tables, &nss, now, &mut p.obs);
                         if applied.stale {
@@ -932,6 +999,7 @@ impl WorkerCtx {
                         };
                         let mut guard = cell.lock();
                         let p = &mut *guard;
+                        self.flush_into(p);
                         self.local.cdms_delivered += 1;
                         p.obs.record(now, delivered);
                         let sw = p.obs.stopwatch();
@@ -942,6 +1010,7 @@ impl WorkerCtx {
                 }
                 ThreadMsg::DeleteScion(r, inc) => {
                     let mut guard = cell.lock();
+                    self.flush_into(&mut guard);
                     delete_scion(&mut guard, r, inc, now, &self.stats, &mut self.local);
                 }
             }
@@ -1142,6 +1211,11 @@ impl WorkerCtx {
         for (dest, m) in build_new_set_stubs(&mut p.tables, &peers, t) {
             active |= self.offer_nss(dest, m);
         }
+        // The offers traced NssSent into the tail (pre-stamped); fold them
+        // into the ring now, before the summary/scan records below tick
+        // the clock past them — a sweep-end flush would give them a later
+        // seq with an earlier stamp and break per-process monotonicity.
+        self.flush_into(p);
 
         p.refresh_summary(self.cfg.summarizer, t);
         self.stats.snapshots.fetch_add(1, Ordering::Relaxed);
@@ -1284,7 +1358,7 @@ pub fn merged_metrics(procs: &[Process]) -> Metrics {
 fn worker(
     mut ctx: WorkerCtx,
     cell: Arc<Mutex<Process>>,
-    rx: Receiver<ThreadMsg>,
+    rx: Receiver<ThreadEnvelope>,
     start: Instant,
     deadline: Duration,
 ) {

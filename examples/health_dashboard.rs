@@ -125,6 +125,7 @@ fn main() {
     let mut out = String::new();
     merged_metrics(&run.procs).to_prometheus_into(&mut out);
     Trace::collect(run.procs.iter().map(|p| &p.obs))
+        .with_runtime("threaded")
         .merged_phases()
         .to_prometheus_into(&mut out);
     println!("{out}");

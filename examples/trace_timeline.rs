@@ -4,6 +4,15 @@
 //! cross-process CDM message path, and the per-phase latency histograms.
 //! The full trace is also exported as JSON Lines.
 //!
+//! Tracing runs with `TraceConfig::causal()`, so every event carries a
+//! Lamport stamp and the trace has a sound happens-before order: the
+//! example also prints the causal *critical-path waterfalls* — each
+//! detection's end-to-end latency attributed to transit/handling
+//! segments (see "Causal order & critical path" in DESIGN.md). The same
+//! analysis runs offline via `acdgc-report --critical-path`, and
+//! `--perfetto OUT.json` exports the trace for the Perfetto UI with flow
+//! arrows along every CDM hop.
+//!
 //! This example covers *event* forensics; for the continuous time-series
 //! side (periodic gauge/counter sampling, sparkline timelines, rate
 //! derivation) see `examples/health_dashboard.rs` and the `--timeline`
@@ -22,7 +31,7 @@ fn main() {
     // The worked example uses the strict step 15 rule (slack 0) so the
     // trace matches the paper's 26-step narration.
     let cfg = GcConfig {
-        trace: TraceConfig::on(),
+        trace: TraceConfig::causal(),
         nongrowth_slack: 0,
         ..GcConfig::manual()
     };
@@ -92,6 +101,14 @@ fn main() {
             h.quantile_upper_nanos(0.9),
             h.max_nanos()
         );
+    }
+
+    // Causal critical path: Lamport stamps give the merged trace a sound
+    // happens-before order, so each detection's end-to-end latency can be
+    // attributed segment by segment along its cross-process CDM chain.
+    println!("\n== critical-path waterfalls (slowest first) ==");
+    for fall in acdgc::obs::top_waterfalls(&trace, 2) {
+        println!("{}", fall.render(48));
     }
 
     let out = Path::new("target/trace_fig4.jsonl");

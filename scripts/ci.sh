@@ -58,6 +58,61 @@ echo "$timeline_out" | grep -qE '█|▇|▆|▅|▄|▃|▂' || {
 echo "$timeline_out" | grep -q 'avg/s' || {
     echo "--timeline printed no counter-rate table" >&2; exit 1; }
 
+echo "==> critical-path waterfall gate (acdgc-report --critical-path)"
+# The stress artifacts are Lamport-stamped (stress_cfg uses
+# TraceConfig::causal()), so the slowest detection must render a waterfall
+# whose per-category durations sum to its end-to-end latency (the renderer
+# asserts the telescoping identity; an empty render means reconstruction
+# went dark).
+cp_out="$(cargo run -q --offline --release -p acdgc-bench --bin acdgc-report -- \
+    --critical-path --top 1 "$sampled_artifact")"
+echo "$cp_out" | grep -q 'critical-path: ' || {
+    echo "--critical-path rendered nothing" >&2; exit 1; }
+echo "$cp_out" | grep -qE 'µs end-to-end' || {
+    echo "--critical-path printed no waterfall header" >&2; exit 1; }
+echo "$cp_out" | grep -q 'causal: OK' || {
+    echo "stress artifact carries no passing causal verdict" >&2; exit 1; }
+
+echo "==> perfetto export gate (acdgc-report --perfetto)"
+# The export must be non-empty valid JSON whose flow arrows cover every
+# surviving CDM hop: the report prints its own delivered-hop audit, so the
+# gate requires zero unmatched deliveries and a parseable document.
+perfetto_out="target/trace-artifacts/perfetto.json"
+rm -f "$perfetto_out"
+pf_report="$(cargo run -q --offline --release -p acdgc-bench --bin acdgc-report -- \
+    --perfetto "$perfetto_out" "$sampled_artifact")"
+echo "$pf_report" | grep -q 'perfetto: wrote' || {
+    echo "--perfetto reported no export" >&2; exit 1; }
+echo "$pf_report" | grep -q ' 0 unmatched' || {
+    echo "--perfetto export left CDM deliveries without flow arrows" >&2; exit 1; }
+[ -s "$perfetto_out" ] || { echo "perfetto export is empty" >&2; exit 1; }
+grep -q '"traceEvents"' "$perfetto_out" || {
+    echo "perfetto export lacks the traceEvents envelope" >&2; exit 1; }
+# One flow pair per traced CDM hop: every delivery in the artifact whose
+# matching send survived must appear as a flow-start ("ph":"s") event.
+hops="$(grep -c '"type":"cdm_delivered"' "$sampled_artifact" || true)"
+flows="$(grep -o '"ph":"s"' "$perfetto_out" | wc -l)"
+if [ "$flows" -eq 0 ] || [ "$flows" -gt "$hops" ]; then
+    echo "perfetto flow count $flows inconsistent with $hops traced CDM hops" >&2
+    exit 1
+fi
+
+echo "==> causal gate (clock-tampered artifact must FAIL --check)"
+# Negative control for the Lamport checker: rewrite every stamp in a
+# healthy artifact to the same constant. Per-process stamps are then
+# non-increasing, so --check must reject it. If it passes, the causal
+# checker has gone blind.
+corrupt_dir="target/trace-artifacts-corrupted"
+rm -rf "$corrupt_dir" && mkdir -p "$corrupt_dir"
+sed 's/"lc":[0-9]*/"lc":7/g' "$sampled_artifact" > "$corrupt_dir/clock-tampered.jsonl"
+grep -q '"lc":7' "$corrupt_dir/clock-tampered.jsonl" || {
+    echo "stress artifact carries no lamport stamps to tamper with" >&2; exit 1; }
+if cargo run -q --offline --release -p acdgc-bench --bin acdgc-report -- \
+    --check "$corrupt_dir/clock-tampered.jsonl" > /dev/null 2>&1; then
+    echo "acdgc-report --check accepted a clock-tampered artifact" >&2
+    exit 1
+fi
+
 echo "==> trace forensics gate (corrupted artifact must FAIL)"
 # Negative control: strip every cycle_detected line from a healthy
 # artifact — the balance ledger no longer closes, so --check must exit
@@ -97,6 +152,10 @@ cargo test -q --offline --release --test integration_modes \
 # Same bar for telemetry sampling: observation must never perturb the run.
 cargo test -q --offline --release --test integration_modes \
     sampling_leaves_the_metrics_ledgers_bit_identical
+# And for causal tracing: Lamport stamps are pure observation — clocks on
+# vs off must leave every metrics ledger bit-identical.
+cargo test -q --offline --release --test integration_modes \
+    lamport_clocks_leave_the_metrics_ledgers_bit_identical
 
 echo "==> bench smoke (1-sample compile + run gate)"
 # The vendored criterion stand-in ignores CLI filters, so the smoke mode

@@ -194,6 +194,48 @@ fn sampling_leaves_the_metrics_ledgers_bit_identical() {
 }
 
 #[test]
+fn lamport_clocks_leave_the_metrics_ledgers_bit_identical() {
+    // Causal tracing is pure observation: Lamport stamps ride on events
+    // and piggyback on envelopes, but no protocol decision may read them.
+    // Same seed, same workload, clocks on vs off: every counter (merged
+    // and per process), the final heap state, and the simulated clock
+    // must agree bit for bit.
+    use acdgc::model::TraceConfig;
+    let run = |trace: TraceConfig| {
+        let mut sys = System::new(
+            4,
+            GcConfig {
+                trace,
+                ..GcConfig::manual()
+            },
+            NetConfig::default(),
+            74,
+        );
+        let procs: Vec<ProcId> = (0..4).map(ProcId).collect();
+        let _live = scenarios::ring(&mut sys, &procs, 3, true);
+        let _dead = scenarios::ring(&mut sys, &procs, 3, false);
+        let rounds = sys.collect_to_fixpoint(30);
+        let per_proc: Vec<_> = procs.iter().map(|&p| *sys.metrics_for(p)).collect();
+        (
+            rounds,
+            sys.metrics,
+            per_proc,
+            sys.total_live_objects(),
+            sys.total_scions(),
+            sys.clock(),
+        )
+    };
+    let plain = run(TraceConfig::on());
+    let clocked = run(TraceConfig::causal());
+    assert_eq!(
+        plain, clocked,
+        "lamport clocks changed observable behaviour"
+    );
+    assert_eq!(plain.1.safety_violations(), 0);
+    assert_eq!(plain.3, 13, "live rings + anchor survive (4*3+1)");
+}
+
+#[test]
 fn modes_agree_under_churn() {
     // Same seed, same workload, different integration mode: final state
     // must agree (the mode changes timing, never outcomes).

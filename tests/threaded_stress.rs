@@ -23,14 +23,17 @@ use std::time::Duration;
 
 /// Tight retry pacing: threaded `SimTime` ticks are wall-clock
 /// microseconds, so failed detections are re-initiated within hundreds of
-/// microseconds and the exponential backoff caps at 5ms. Tracing is on so
-/// every failure comes with a forensic artifact.
+/// microseconds and the exponential backoff caps at 5ms. Causal tracing is
+/// on (events Lamport-stamped, clocks piggybacked on every channel send)
+/// so every failure comes with a forensic artifact carrying a sound
+/// happens-before order — and so the CI artifact exercises `--check`'s
+/// causal gate and the `--perfetto` export.
 fn stress_cfg(channel_capacity: usize) -> GcConfig {
     GcConfig {
         candidate_backoff: SimDuration::from_micros(300),
         candidate_backoff_max: SimDuration::from_millis(5),
         channel_capacity,
-        trace: TraceConfig::on(),
+        trace: TraceConfig::causal(),
         // Time-series telemetry rides in the same artifact: the monitor
         // thread samples every poll into small rings, so long stress runs
         // exercise decimation and `--check`'s sample validation for free.
@@ -61,7 +64,9 @@ fn dump_trace(
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("target").join("trace-artifacts"));
     let path = dir.join(format!("{name}.jsonl"));
-    let trace = Trace::collect(procs.iter().map(|p| &p.obs)).with_samples(samples.to_vec());
+    let trace = Trace::collect(procs.iter().map(|p| &p.obs))
+        .with_runtime("threaded")
+        .with_samples(samples.to_vec());
     trace.dump_jsonl(&path).expect("write trace artifact");
     // Watchdog health reports ride in the same artifact so `acdgc-report`
     // can render run health next to the event timeline.
@@ -255,4 +260,68 @@ fn quiescence_is_never_premature_across_seed_matrix() {
         total_retries > 0,
         "30% loss across 5 runs without a single NSS retransmission"
     );
+}
+
+/// Retries never violate causal order: under 30% drop every lost CDM is
+/// re-initiated and every unacked NSS retransmitted, yet the merged trace
+/// must still satisfy both Lamport invariants — per-process stamps
+/// strictly increase in merge order, and every delivery stamps above its
+/// matching send. A retry that reused a stale clock, or a tail flush that
+/// reordered buffered events past direct records, would fail here.
+#[test]
+fn heavy_drop_retries_never_violate_causal_order() {
+    let sys = build_mesh(6, 3, 2, 47);
+    let net = NetConfig {
+        gc_drop_probability: 0.3,
+        gc_duplicate_probability: 0.1,
+        ..NetConfig::instant()
+    };
+    let run = threaded::run_concurrent_collection_observed(
+        sys.into_procs(),
+        stress_cfg(1),
+        ThreadedOptions {
+            net,
+            seed: 47,
+            deadline: Duration::from_secs(60),
+            ..ThreadedOptions::default()
+        },
+    );
+    let name = "heavy_drop_causal";
+    let live: usize = run.procs.iter().map(|p| p.heap.stats().live_objects).sum();
+    check!(run, name, live == 0, "garbage must still be collected");
+    check!(
+        run,
+        name,
+        run.stats.faults_injected.load(Ordering::Relaxed) > 0,
+        "a 30% injector over a 6-proc mesh must drop something"
+    );
+
+    let trace = Trace::collect(run.procs.iter().map(|p| &p.obs)).with_runtime("threaded");
+    check!(
+        run,
+        name,
+        trace.events.iter().any(|r| r.lamport > 0),
+        "causal tracing must stamp events"
+    );
+    // Both invariants are truncation-stable, so this holds even if the
+    // rings overwrote early events.
+    let causal = acdgc::obs::check_causal(&trace);
+    check!(
+        run,
+        name,
+        causal.is_empty(),
+        "retries/duplicates broke happens-before: {causal:?}"
+    );
+    // On a complete trace, every reconstructed detection path must also
+    // show strictly increasing stamps hop by hop (the cross-process
+    // generalization of check_hops_increase).
+    if trace.overwritten == 0 {
+        for id in trace.detection_ids() {
+            let path = trace.detection(id);
+            if let Err(e) = path.check_lamport_increases() {
+                let p = dump_trace(&run.procs, &run.health, &run.samples, name);
+                panic!("{e}\n{}\n— trace kept at {}", path.render(), p.display());
+            }
+        }
+    }
 }

@@ -151,7 +151,7 @@ fn tiny_ring_capacity_truncates_and_reports() {
         trace: TraceConfig {
             enabled: true,
             capacity: 4,
-            filter: TraceFilter::default(),
+            ..TraceConfig::default()
         },
         ..GcConfig::manual()
     };
@@ -286,6 +286,48 @@ proptest! {
             "one DetectionStarted per initiation");
         for id in ids {
             assert_balanced(&trace, id, "random graph");
+        }
+    }
+
+    /// Cross-process generalization of `check_hops_increase`: with causal
+    /// tracing on, Lamport stamps strictly increase along every
+    /// reconstructed `DetectionPath` — each process's steps tick its own
+    /// clock, and every cross-process delivery witnesses the piggybacked
+    /// send stamp, so no hop can appear to precede its cause. The merged
+    /// trace must also pass the global causal check.
+    #[test]
+    fn lamport_stamps_increase_along_every_detection_path(
+        seed in 0u64..1_000_000,
+        procs in 2usize..6,
+        objs in 4usize..24,
+        remote_degree in 0.2f64..2.0,
+    ) {
+        let cfg = GcConfig {
+            trace: TraceConfig::causal(),
+            ..GcConfig::manual()
+        };
+        let mut sys = System::new(procs, cfg, NetConfig::instant(), seed);
+        let mut rng = acdgc::model::rng::component_rng(seed, "lamport-prop");
+        random_graph(&mut sys, &mut rng, &RandomGraphParams {
+            objects_per_proc: objs,
+            local_degree: 1.5,
+            remote_degree,
+            root_probability: 0.2,
+        });
+        sys.config_mut().candidate_age = SimDuration::ZERO;
+        sys.config_mut().candidate_backoff = SimDuration::ZERO;
+        sys.collect_to_fixpoint(15);
+
+        let trace = sys.trace();
+        prop_assume!(trace.overwritten == 0);
+        prop_assert!(trace.events.iter().all(|r| r.lamport > 0),
+            "causal tracing stamps every surviving event");
+        let causal = acdgc::obs::check_causal(&trace);
+        prop_assert!(causal.is_empty(), "global causal check: {:?}", causal);
+        for id in trace.detection_ids() {
+            let path = trace.detection(id);
+            path.check_lamport_increases()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", path.render()));
         }
     }
 }
