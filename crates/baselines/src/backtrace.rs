@@ -6,7 +6,7 @@
 //! the stub; if the stub is locally reachable there, a root was found and
 //! the suspect is live; otherwise recurse into the references that lead to
 //! that stub (`ScionsTo` — the same summarized inverse the DCDA uses).
-//! A per-trace visited set ("trace ids" in [11]) terminates cycles: a
+//! A per-trace visited set ("trace ids" in \[11\]) terminates cycles: a
 //! reference reached twice contributes no new liveness evidence.
 //!
 //! Costs charged, following the paper's critique:
@@ -42,7 +42,7 @@ pub struct Backtracer {
 }
 
 impl Backtracer {
-    /// Snapshot every process. Mutator-quiescent by assumption; [11] needs
+    /// Snapshot every process. Mutator-quiescent by assumption; \[11\] needs
     /// transfer barriers to be safe under mutation, which are out of scope
     /// for the baseline comparison.
     pub fn new(sys: &System) -> Self {

@@ -5,16 +5,16 @@
 //! two representative baselines are implemented against the same substrate:
 //!
 //! * [`hughes`] — global timestamp propagation in the style of Hughes
-//!   [7]: local collections stamp everything reachable from roots with the
+//!   \[7\]: local collections stamp everything reachable from roots with the
 //!   current epoch, stamps flow stub→scion one hop per round, and a
 //!   *globally synchronized* threshold round reclaims scions whose stamp
 //!   proves no root has reached them. Complete, but the cost structure is
 //!   exactly what the paper criticizes: continuous global work
 //!   proportional to *all* remote references, plus a barrier every round
 //!   (and in an asynchronous system the barrier is a consensus, impossible
-//!   under faults [5]).
+//!   under faults \[5\]).
 //! * [`backtrace`] — distributed back-tracing in the style of
-//!   Maheshwari & Liskov [11]: from a suspect, walk *backwards* through
+//!   Maheshwari & Liskov \[11\]: from a suspect, walk *backwards* through
 //!   incoming references (using the same `ScionsTo` summaries the DCDA
 //!   uses) until a root is found or all paths are exhausted. Complete and
 //!   targeted, but each trace is a chain of synchronous remote calls, and

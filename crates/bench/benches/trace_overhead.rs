@@ -63,6 +63,7 @@ fn detections_only() -> TraceConfig {
             nss: false,
             phases: false,
             quiescence: false,
+            mutator: false,
         },
         ..TraceConfig::default()
     }

@@ -802,6 +802,7 @@ fn ob1() -> Value {
         nss: false,
         phases: false,
         quiescence: false,
+        mutator: false,
     });
     let get = |v: &Value, k: &str| -> u64 {
         match v {

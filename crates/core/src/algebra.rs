@@ -17,6 +17,19 @@ use std::fmt;
 /// Invocation counter value.
 pub type Ic = u64;
 
+/// The credit a fresh detection starts with (weight-throwing termination
+/// detection, Dijkstra–Scholten style). Expansion splits a CDM's credit
+/// exactly across its forwarded branches; every terminal outcome returns
+/// the arriving CDM's credit to the initiator. When the initiator has
+/// recovered the full credit and every returned share was a *conclusive*
+/// termination (dead end or live path — not a hop/budget/slack cutoff),
+/// the detection provably walked every branch without finding a cycle:
+/// the candidate is live and need not be retried until the mutator moves
+/// again. A power of two so repeated halving stays exact for a long time;
+/// truncated shares are rounded into the first branch, so credit is
+/// conserved by construction.
+pub const FULL_CREDIT: u64 = 1 << 32;
+
 /// One algebra entry as `(reference, counter)` — exposed for tests and
 /// trace assertions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
@@ -67,6 +80,12 @@ pub struct Cdm {
     /// (see `GcConfig::nongrowth_slack`). Reset on every growing hop; not
     /// part of the algebra.
     pub slack: u32,
+    /// Termination-detection credit carried by this derivation (see
+    /// [`FULL_CREDIT`]). Split exactly across forwarded branches on
+    /// fan-out; returned to the initiator whenever the derivation dies.
+    /// Not part of the algebra — it only drives the initiator's lazy
+    /// liveness verdicts, never a deletion.
+    pub credit: u64,
     /// Dependencies: scion-side `(reference, counter)` entries.
     pub source: BTreeMap<RefId, Ic>,
     /// Traversed references: stub-side `(reference, counter)` entries.
@@ -125,6 +144,7 @@ impl Cdm {
             hops: 0,
             budget: u32::MAX,
             slack: 0,
+            credit: FULL_CREDIT,
             source,
             target: BTreeMap::new(),
             owners: BTreeMap::new(),
@@ -149,15 +169,20 @@ impl Cdm {
         self.incarnations.insert(ref_id, incarnation);
     }
 
-    /// Every scion of the matched set with its owner and witnessed
-    /// incarnation: the deletion list a cycle verdict authorizes.
-    pub fn matched_scions(&self) -> Vec<(ProcId, RefId, u32)> {
+    /// Every scion of the matched set with its owner, witnessed
+    /// incarnation, and witnessed invocation counter: the deletion list a
+    /// cycle verdict authorizes. The counter rides along so the deletion
+    /// site can re-apply the paper's lazy IC barrier at *delete* time — a
+    /// verdict is only acted upon if the mutator has not used the
+    /// reference since the walk witnessed it (a concurrent re-export or
+    /// invocation advances the live counter past the witnessed one).
+    pub fn matched_scions(&self) -> Vec<(ProcId, RefId, u32, Ic)> {
         self.source
-            .keys()
-            .filter_map(|r| {
+            .iter()
+            .filter_map(|(r, ic)| {
                 let owner = self.owners.get(r)?;
                 let inc = self.incarnations.get(r)?;
-                Some((*owner, *r, *inc))
+                Some((*owner, *r, *inc, *ic))
             })
             .collect()
     }

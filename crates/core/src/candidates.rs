@@ -21,6 +21,21 @@ pub struct CandidateState {
     /// every attempt is treated as a failure until the scion disappears
     /// (success deletes it; `retain_known` then clears both maps).
     attempts: FxHashMap<RefId, u32>,
+    /// Scions a completed detection proved *live* (every branch of the
+    /// walk terminated conclusively without a cycle — see the credit
+    /// scheme on `Cdm::credit`), keyed to the mutation epoch the proof is
+    /// valid for. A proven-live scion is not re-picked while the epoch
+    /// stands: without this, live-but-not-locally-rooted structure (e.g.
+    /// an anchored distributed ring, whose scions all fail the
+    /// `Local.Reach` test everywhere except the anchor's process) is
+    /// re-picked after every capped backoff forever, and a quiescence
+    /// protocol that counts picked candidates as pending work can never
+    /// close. Lazy in the paper's sense: any mutation invalidates it.
+    proven_live: FxHashMap<RefId, u64>,
+    /// Current mutation epoch, set by the runtime before each scan.
+    /// Verdicts recorded under a different epoch are dead on arrival and
+    /// an epoch change clears the suppression set.
+    epoch: u64,
 }
 
 impl CandidateState {
@@ -32,6 +47,31 @@ impl CandidateState {
     pub fn retain_known(&mut self, summary: &SummarizedGraph) {
         self.last_attempt.retain(|r, _| summary.scion(*r).is_some());
         self.attempts.retain(|r, _| summary.scion(*r).is_some());
+        self.proven_live.retain(|r, _| summary.scion(*r).is_some());
+    }
+
+    /// Advance the mutation epoch. Any mutator operation invalidates every
+    /// standing liveness verdict: the structure it proved live may have
+    /// just become garbage.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        if epoch != self.epoch {
+            self.proven_live.clear();
+            self.epoch = epoch;
+        }
+    }
+
+    /// Record that a completed detection proved `scion` live. Ignored when
+    /// `epoch` is not the current mutation epoch (the verdict raced a
+    /// mutator operation and may be stale).
+    pub fn record_live_verdict(&mut self, scion: RefId, epoch: u64) {
+        if epoch == self.epoch {
+            self.proven_live.insert(scion, epoch);
+        }
+    }
+
+    /// Scions currently suppressed by a standing liveness verdict.
+    pub fn proven_live_count(&self) -> usize {
+        self.proven_live.len()
     }
 
     /// Number of scions currently under backoff bookkeeping.
@@ -61,14 +101,27 @@ pub struct CandidateScan {
     /// `max_candidates_per_scan`. Nonzero means detection work is pending:
     /// a quiescence protocol must not declare this process quiet.
     pub deferred: usize,
+    /// Scions that would have been eligible but were pinned at snapshot
+    /// time (an export or invocation was in flight through them). They are
+    /// mutator-active by definition, and also outstanding work: the pin
+    /// will drop and the scion be re-judged, so quiescence must wait.
+    pub pinned: usize,
+    /// Eligible scions suppressed by a standing liveness verdict (a prior
+    /// detection walked every branch and found no cycle, and no mutation
+    /// has happened since). Deliberately NOT pending work: the verdict is
+    /// exactly the statement that retrying is pointless until the mutator
+    /// moves, which is what lets quiescence close over live distributed
+    /// structure.
+    pub suppressed: usize,
 }
 
 impl CandidateScan {
     /// Whether this scan leaves detection work outstanding — scions picked
-    /// now, or eligible scions throttled into a later scan. Quiescence
-    /// detectors must treat either as activity.
+    /// now, eligible scions throttled into a later scan, or candidates
+    /// suppressed only by an in-flight pin. Quiescence detectors must
+    /// treat any of these as activity.
     pub fn work_pending(&self) -> bool {
-        !self.picked.is_empty() || self.deferred > 0
+        !self.picked.is_empty() || self.deferred > 0 || self.pinned > 0
     }
 }
 
@@ -77,6 +130,9 @@ impl CandidateScan {
 /// * not locally reachable (a reachable target is trivially live),
 /// * at least one stub transitively reachable (a distributed cycle needs an
 ///   outgoing path),
+/// * not pinned (an in-flight export or invocation is mutator activity on
+///   the reference: the IC barrier would reject the verdict anyway, so the
+///   detection would be wasted work),
 /// * not invoked for `candidate_age`,
 /// * outside its retry backoff window ([`GcConfig::backoff_for`],
 ///   exponential in the number of prior attempts, capped),
@@ -92,6 +148,8 @@ pub fn scan_candidates(
     cfg: &GcConfig,
 ) -> CandidateScan {
     let mut deferred = 0usize;
+    let mut pinned = 0usize;
+    let mut suppressed = 0usize;
     let mut eligible: Vec<(&SimTime, RefId)> = Vec::new();
     for scion in summary.scions.values() {
         if scion.target_locally_reachable {
@@ -101,6 +159,16 @@ pub fn scan_candidates(
             continue;
         }
         if now.since(scion.last_invoked) < cfg.candidate_age {
+            continue;
+        }
+        if scion.pinned > 0 {
+            pinned += 1;
+            continue;
+        }
+        // Entries only survive while their epoch is current (`set_epoch`
+        // clears on change), so presence alone means the verdict stands.
+        if state.proven_live.contains_key(&scion.ref_id) {
+            suppressed += 1;
             continue;
         }
         if let Some(last) = state.last_attempt.get(&scion.ref_id) {
@@ -121,7 +189,12 @@ pub fn scan_candidates(
         state.last_attempt.insert(r, now);
         *state.attempts.entry(r).or_insert(0) += 1;
     }
-    CandidateScan { picked, deferred }
+    CandidateScan {
+        picked,
+        deferred,
+        pinned,
+        suppressed,
+    }
 }
 
 /// [`scan_candidates`] with the scan timed into the
@@ -177,6 +250,7 @@ mod tests {
                     target_locally_reachable: local,
                     last_invoked: SimTime(last),
                     incarnation: 0,
+                    pinned: 0,
                 },
             );
         }
@@ -294,6 +368,58 @@ mod tests {
         let scan = scan_candidates(&s, &mut state, SimTime(10_000), &cfg());
         assert_eq!(scan.picked.len(), 2);
         assert_eq!(scan.deferred, 1, "third eligible scion cut by the cap");
+    }
+
+    #[test]
+    fn pinned_scion_skipped_but_counted_as_pending_work() {
+        let mut s = summary_with(vec![(1, false, 1, 0), (2, false, 1, 0)]);
+        s.scions.get_mut(&RefId(1)).unwrap().pinned = 1;
+        let mut state = CandidateState::new();
+        let scan = scan_candidates(&s, &mut state, SimTime(10_000), &cfg());
+        assert_eq!(scan.picked, vec![RefId(2)], "pinned scion not picked");
+        assert_eq!(scan.pinned, 1);
+        assert!(scan.work_pending());
+        assert_eq!(
+            state.attempts_for(RefId(1)),
+            0,
+            "a pin is not a detection attempt: no backoff charged"
+        );
+        // Unpinned (the in-flight message landed): picked next scan
+        // (alongside r2, whose backoff has also expired by now).
+        s.scions.get_mut(&RefId(1)).unwrap().pinned = 0;
+        let scan = scan_candidates(&s, &mut state, SimTime(20_000), &cfg());
+        assert!(scan.picked.contains(&RefId(1)));
+        assert_eq!(scan.pinned, 0);
+    }
+
+    #[test]
+    fn liveness_verdict_suppresses_until_mutation() {
+        let s = summary_with(vec![(1, false, 1, 0)]);
+        let mut state = CandidateState::new();
+        let cfg = cfg();
+        assert_eq!(
+            scan_candidates(&s, &mut state, SimTime(1_000), &cfg).picked,
+            vec![RefId(1)]
+        );
+        // The detection completed and proved the scion live at epoch 0.
+        state.record_live_verdict(RefId(1), 0);
+        let scan = scan_candidates(&s, &mut state, SimTime(10_000), &cfg);
+        assert!(scan.picked.is_empty(), "proven-live scion not re-picked");
+        assert_eq!(scan.suppressed, 1);
+        assert_eq!(scan.deferred, 0, "a live verdict is not pending work");
+        assert!(!scan.work_pending(), "quiescence may close over it");
+        // A mutation invalidates the verdict: picked again.
+        state.set_epoch(1);
+        assert_eq!(
+            scan_candidates(&s, &mut state, SimTime(20_000), &cfg).picked,
+            vec![RefId(1)]
+        );
+        // A verdict recorded under a stale epoch is dead on arrival.
+        state.record_live_verdict(RefId(1), 0);
+        assert_eq!(
+            scan_candidates(&s, &mut state, SimTime(40_000), &cfg).picked,
+            vec![RefId(1)]
+        );
     }
 
     #[test]

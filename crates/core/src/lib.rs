@@ -76,7 +76,7 @@ pub mod algebra;
 pub mod candidates;
 pub mod process;
 
-pub use algebra::{Cdm, Entry, MatchResult};
+pub use algebra::{Cdm, Entry, MatchResult, FULL_CREDIT};
 pub use candidates::{
     scan_candidates, scan_candidates_observed, select_candidates, CandidateScan, CandidateState,
 };

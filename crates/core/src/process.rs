@@ -55,10 +55,15 @@ pub enum Outcome {
     DroppedHopCap,
     /// Matching cancelled completely: a distributed garbage cycle. Every
     /// scion of the matched set is garbage; `delete` lists them with their
-    /// owning processes and witnessed incarnations (the paper deletes only
-    /// the local one, which strands objects protected by several scions —
-    /// see `Cdm::matched_scions`). The acyclic DGC reclaims the objects.
-    CycleFound { delete: Vec<(ProcId, RefId, u32)> },
+    /// owning processes, witnessed incarnations, and witnessed invocation
+    /// counters (the paper deletes only the local one, which strands
+    /// objects protected by several scions — see `Cdm::matched_scions`).
+    /// The deletion site must re-check both the incarnation (ABA guard)
+    /// and the counter (lazy IC barrier against a concurrent mutator)
+    /// before removing the scion. The acyclic DGC reclaims the objects.
+    CycleFound {
+        delete: Vec<(ProcId, RefId, u32, u64)>,
+    },
     /// The walk continues along these references. The counters record the
     /// sibling branches that did *not* forward (live path pruned, or the
     /// §3.1 step 15 no-new-information rule).
@@ -66,6 +71,15 @@ pub enum Outcome {
         out: Vec<OutboundCdm>,
         branches_pruned_local: u32,
         branches_no_new_info: u32,
+        /// Of the `branches_no_new_info` total, how many were cut by
+        /// budget starvation rather than the no-new-information rule.
+        /// The distinction matters for liveness verdicts: a slack-pruned
+        /// branch added nothing the walk had not already covered (its
+        /// stub's pair is in the CDM algebra, so an ancestor explored
+        /// past it), but a starved branch carried *new* information that
+        /// was never walked — real coverage loss the initiator must not
+        /// mistake for a complete, clean walk.
+        branches_starved: u32,
     },
     /// The detection dies here, see [`TerminateReason`].
     Terminated(TerminateReason),
@@ -311,10 +325,20 @@ fn expand_per_branch(
     // metrics purposes (they carry real coverage loss the next scan must
     // retry).
     branches_no_new_info += starved;
+    // Split the termination-detection credit exactly across the surviving
+    // branches (remainder to the first), so the shares always sum to the
+    // parent's credit and the initiator can recognize full recovery.
+    let k = forwards.len() as u64;
+    let share = cdm.credit / k;
+    let rem = cdm.credit % k;
+    for (i, ob) in forwards.iter_mut().enumerate() {
+        ob.cdm.credit = share + if i == 0 { rem } else { 0 };
+    }
     Outcome::Forwarded {
         out: forwards,
         branches_pruned_local,
         branches_no_new_info,
+        branches_starved: starved,
     }
 }
 
@@ -514,6 +538,7 @@ fn expand_eager(summary: &SummarizedGraph, mut cdm: Cdm, scion: RefId, cfg: &GcC
         out,
         branches_pruned_local,
         branches_no_new_info: 0,
+        branches_starved: 0,
     }
 }
 
@@ -547,6 +572,7 @@ mod tests {
                     target_locally_reachable: local,
                     last_invoked: SimTime(0),
                     incarnation: 0,
+                    pinned: 0,
                 },
             );
             self
@@ -610,7 +636,7 @@ mod tests {
         assert_eq!(
             out,
             Outcome::CycleFound {
-                delete: vec![(ProcId(0), RefId(1), 0), (ProcId(1), RefId(2), 0)]
+                delete: vec![(ProcId(0), RefId(1), 0, 0), (ProcId(1), RefId(2), 0, 0)]
             },
             "the verdict authorizes deleting every scion of the matched set"
         );
@@ -914,7 +940,7 @@ mod tests {
         assert_eq!(
             out,
             Outcome::CycleFound {
-                delete: vec![(ProcId(0), RefId(1), 0), (ProcId(1), RefId(2), 0)]
+                delete: vec![(ProcId(0), RefId(1), 0, 0), (ProcId(1), RefId(2), 0, 0)]
             }
         );
     }

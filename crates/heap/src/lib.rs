@@ -4,7 +4,7 @@
 //! tracing collectors are reproduced here as an explicit object graph:
 //!
 //! * [`Heap`] — a slot arena of [`ObjectRecord`]s whose fields are
-//!   [`HeapRef`]s: either local slots or remote references (a [`RefId`]
+//!   [`HeapRef`]s: either local slots or remote references (a `RefId`
 //!   naming a stub owned by the remoting layer),
 //! * local *roots* (the paper's global variables and thread stacks),
 //! * [`lgc`] — a mark-sweep collector that traces from the roots *and* from

@@ -60,6 +60,7 @@ impl BitSet {
         present
     }
 
+    /// Whether `index` is set.
     #[inline]
     pub fn contains(&self, index: usize) -> bool {
         let (w, b) = (index / 64, index % 64);
@@ -71,6 +72,7 @@ impl BitSet {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// Whether no bit is set.
     pub fn is_empty(&self) -> bool {
         self.words.iter().all(|&w| w == 0)
     }

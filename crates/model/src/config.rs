@@ -21,7 +21,7 @@ pub enum IntegrationMode {
 }
 
 /// Which graph-summarization implementation a process runs at snapshot
-/// time. Both produce identical [`SummarizedGraph`]s (property-tested);
+/// time. Both produce identical `SummarizedGraph`s (property-tested);
 /// they differ only in cost.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SummarizerKind {
@@ -60,6 +60,9 @@ pub struct TraceFilter {
     pub phases: bool,
     /// Threaded-runtime quiescence votes and rescinds.
     pub quiescence: bool,
+    /// Concurrent-mutator operations (allocate / export / invoke / drop)
+    /// recorded by the threaded runtime's mutator threads.
+    pub mutator: bool,
 }
 
 impl Default for TraceFilter {
@@ -69,6 +72,7 @@ impl Default for TraceFilter {
             nss: true,
             phases: true,
             quiescence: true,
+            mutator: true,
         }
     }
 }
@@ -78,11 +82,13 @@ impl Default for TraceFilter {
 /// production configurations pay nothing.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceConfig {
+    /// Whether events are recorded at all.
     pub enabled: bool,
     /// Per-process ring-buffer capacity in events; the oldest events are
     /// overwritten once it fills (the overwrite count is surfaced so a
     /// truncated trace is never mistaken for a complete one).
     pub capacity: usize,
+    /// Which event families are recorded.
     pub filter: TraceFilter,
     /// Stamp every recorded event with a per-process Lamport clock and
     /// piggyback the clock on every GC message, giving the trace a sound
@@ -174,6 +180,7 @@ impl Default for WatchdogConfig {
 /// full-span, progressively coarser timeline in fixed memory.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SamplingConfig {
+    /// Whether samples are taken at all.
     pub enabled: bool,
     /// Sampling cadence: one sample per `sample_every` GC rounds
     /// (sequential) or watchdog polls (threaded). Clamped to at least 1.
@@ -201,6 +208,85 @@ impl SamplingConfig {
             enabled: true,
             ..SamplingConfig::default()
         }
+    }
+}
+
+/// Concurrent-mutator knobs for the threaded runtime. The paper's central
+/// claim is that detection stays safe and complete *while the application
+/// keeps mutating* (§3.2); the mutator subsystem exercises exactly that
+/// regime: seeded application threads allocate, export references, invoke
+/// along them and drop them, racing the collector workers through the same
+/// per-process locks and the scion pin/unpin handshake.
+///
+/// Disabled by default. All randomness derives from the run seed, so a
+/// given `(seed, config)` pair replays the same operation sequence (the
+/// interleaving with collector threads still varies with scheduling — that
+/// is the point).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MutatorConfig {
+    /// Whether mutator threads run at all. Off, the threaded runtime
+    /// collects a frozen graph exactly as before.
+    pub enabled: bool,
+    /// Number of mutator threads. Each thread owns a disjoint slice of
+    /// the process set (round-robin by index) and only mutates holders on
+    /// its own processes, so threads never race each other on the same
+    /// stub table; they race the *collector*, which is the interesting
+    /// interleaving.
+    pub threads: usize,
+    /// Operations each mutator thread performs before declaring itself
+    /// drained. Zero means the threads start, drain immediately and exit —
+    /// observationally identical to `enabled: false` (tested).
+    pub ops_per_thread: u64,
+    /// Wall-clock pause between consecutive operations of one thread
+    /// (rate pacing). Zero runs the mutator flat out.
+    pub pace: SimDuration,
+    /// Relative weight of *allocate* (new rooted object on a random owned
+    /// process) in the op mix.
+    pub allocate_weight: u32,
+    /// Relative weight of *export*: create (or re-share) a remote
+    /// reference from an owned live object to an object on another
+    /// process, via the scion pin/unpin handshake.
+    pub export_weight: u32,
+    /// Relative weight of *invoke-along-reference*: bump the stub-side
+    /// invocation counter, then pin the target scion, deliver the
+    /// invocation, and unpin — the pin holds the target chain against
+    /// concurrent deletion for the duration.
+    pub invoke_weight: u32,
+    /// Relative weight of *drop-reference*: remove a previously created
+    /// remote reference or unroot a previously allocated object, turning
+    /// mutator-built structure into (possibly cyclic) garbage.
+    pub drop_weight: u32,
+}
+
+impl Default for MutatorConfig {
+    fn default() -> Self {
+        MutatorConfig {
+            enabled: false,
+            threads: 1,
+            ops_per_thread: 256,
+            pace: SimDuration::ZERO,
+            allocate_weight: 2,
+            export_weight: 3,
+            invoke_weight: 3,
+            drop_weight: 2,
+        }
+    }
+}
+
+impl MutatorConfig {
+    /// Mutation on with the default mix, `ops` operations per thread.
+    pub fn on(ops: u64) -> Self {
+        MutatorConfig {
+            enabled: true,
+            ops_per_thread: ops,
+            ..MutatorConfig::default()
+        }
+    }
+
+    /// Total weight of the op mix (never zero: a fully zero-weighted mix
+    /// falls back to allocate).
+    pub fn total_weight(&self) -> u32 {
+        (self.allocate_weight + self.export_weight + self.invoke_weight + self.drop_weight).max(1)
     }
 }
 
@@ -320,6 +406,9 @@ pub struct GcConfig {
     pub watchdog: WatchdogConfig,
     /// Periodic time-series sampling (`acdgc-obs`); off by default.
     pub sampling: SamplingConfig,
+    /// Threaded-runtime concurrent mutator; off by default (the sequential
+    /// runtime drives mutation through explicit `System` calls instead).
+    pub mutator: MutatorConfig,
 }
 
 impl Default for GcConfig {
@@ -351,6 +440,7 @@ impl Default for GcConfig {
             trace: TraceConfig::default(),
             watchdog: WatchdogConfig::default(),
             sampling: SamplingConfig::default(),
+            mutator: MutatorConfig::default(),
         }
     }
 }
@@ -448,6 +538,23 @@ mod tests {
         assert!(cfg.branch_termination);
         assert!(cfg.instrument_remoting);
         assert!(cfg.max_hops > 0);
+    }
+
+    #[test]
+    fn mutator_defaults_off_and_weighted() {
+        let cfg = GcConfig::default();
+        assert!(!cfg.mutator.enabled, "mutator must default off");
+        assert!(cfg.mutator.total_weight() > 0);
+        let degenerate = MutatorConfig {
+            allocate_weight: 0,
+            export_weight: 0,
+            invoke_weight: 0,
+            drop_weight: 0,
+            ..MutatorConfig::default()
+        };
+        assert_eq!(degenerate.total_weight(), 1, "zero mix clamps to 1");
+        assert!(MutatorConfig::on(64).enabled);
+        assert_eq!(MutatorConfig::on(64).ops_per_thread, 64);
     }
 
     #[test]

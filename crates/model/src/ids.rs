@@ -43,12 +43,16 @@ pub type Slot = u32;
 /// slot's generation at allocation time.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ObjId {
+    /// The process that owns the object.
     pub proc: ProcId,
+    /// Heap slot within the owning process.
     pub slot: Slot,
+    /// The slot's generation at allocation time (stale-handle guard).
     pub generation: u32,
 }
 
 impl ObjId {
+    /// Assemble an object id from its three components.
     pub fn new(proc: ProcId, slot: Slot, generation: u32) -> Self {
         ObjId {
             proc,
@@ -115,16 +119,19 @@ pub struct IdAllocator {
 }
 
 impl IdAllocator {
+    /// Fresh allocator, both counters at zero.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Allocate the next [`RefId`].
     pub fn next_ref_id(&mut self) -> RefId {
         let id = RefId(self.next_ref);
         self.next_ref += 1;
         id
     }
 
+    /// Allocate the next [`DetectionId`].
     pub fn next_detection_id(&mut self) -> DetectionId {
         let id = DetectionId(self.next_detection);
         self.next_detection += 1;

@@ -16,6 +16,8 @@
 //! Nothing in this crate knows about heaps, messages or detection; it is
 //! the dependency root of the workspace.
 
+#![warn(missing_docs)]
+
 pub mod bitset;
 pub mod config;
 pub mod error;
@@ -25,8 +27,8 @@ pub mod time;
 
 pub use bitset::BitSet;
 pub use config::{
-    GcConfig, IntegrationMode, NetConfig, SamplingConfig, SummarizerKind, TraceConfig, TraceFilter,
-    WatchdogConfig,
+    GcConfig, IntegrationMode, MutatorConfig, NetConfig, SamplingConfig, SummarizerKind,
+    TraceConfig, TraceFilter, WatchdogConfig,
 };
 pub use error::ModelError;
 pub use ids::{DetectionId, IdAllocator, ObjId, ProcId, RefId, Slot};

@@ -18,6 +18,7 @@ pub struct SimTime(pub u64);
 pub struct SimDuration(pub u64);
 
 impl SimTime {
+    /// The start of simulated time.
     pub const ZERO: SimTime = SimTime(0);
 
     /// Convenience constructor: `t` milliseconds (1 tick = 1 µs).
@@ -25,6 +26,7 @@ impl SimTime {
         SimTime(ms * 1_000)
     }
 
+    /// The raw tick count (1 tick = 1 µs).
     pub fn as_ticks(self) -> u64 {
         self.0
     }
@@ -36,20 +38,25 @@ impl SimTime {
 }
 
 impl SimDuration {
+    /// The empty span.
     pub const ZERO: SimDuration = SimDuration(0);
 
+    /// A span of `ms` milliseconds (1 tick = 1 µs).
     pub fn from_millis(ms: u64) -> Self {
         SimDuration(ms * 1_000)
     }
 
+    /// A span of `us` microseconds (= ticks).
     pub fn from_micros(us: u64) -> Self {
         SimDuration(us)
     }
 
+    /// The raw tick count (1 tick = 1 µs).
     pub fn as_ticks(self) -> u64 {
         self.0
     }
 
+    /// The span in whole milliseconds, truncating.
     pub fn as_millis(self) -> u64 {
         self.0 / 1_000
     }

@@ -625,6 +625,7 @@ fn family(e: &Event) -> &'static str {
     match e {
         Event::NssSent { .. } | Event::NssApplied { .. } | Event::NssAcked { .. } => "nss",
         Event::VoteCast { .. } | Event::VoteRescinded { .. } => "quiescence",
+        Event::MutatorOp { .. } => "mutator",
         _ => "detection",
     }
 }

@@ -152,6 +152,52 @@ impl TermReason {
     }
 }
 
+/// What a concurrent-mutator thread did in one [`Event::MutatorOp`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MutatorOpKind {
+    /// A new rooted object was allocated on the recording process.
+    Allocate,
+    /// A remote reference (stub/scion pair) was created or re-shared from
+    /// a holder on the recording process.
+    Export,
+    /// An invocation travelled along a remote reference; the target scion
+    /// was pinned for the duration (recorded at the sending process).
+    Invoke,
+    /// A remote reference was dropped by its holder on the recording
+    /// process.
+    DropRef,
+    /// A mutator-allocated object was unrooted on the recording process,
+    /// turning its subgraph into (possibly cyclic, possibly distributed)
+    /// garbage.
+    DropRoot,
+}
+
+impl MutatorOpKind {
+    /// Stable snake_case name, used in the JSONL `op` field.
+    pub fn name(self) -> &'static str {
+        match self {
+            MutatorOpKind::Allocate => "allocate",
+            MutatorOpKind::Export => "export",
+            MutatorOpKind::Invoke => "invoke",
+            MutatorOpKind::DropRef => "drop_ref",
+            MutatorOpKind::DropRoot => "drop_root",
+        }
+    }
+
+    /// Inverse of [`MutatorOpKind::name`], for parsing exported traces.
+    pub fn from_name(name: &str) -> Option<MutatorOpKind> {
+        [
+            MutatorOpKind::Allocate,
+            MutatorOpKind::Export,
+            MutatorOpKind::Invoke,
+            MutatorOpKind::DropRef,
+            MutatorOpKind::DropRoot,
+        ]
+        .into_iter()
+        .find(|k| k.name() == name)
+    }
+}
+
 /// One observable transition. Detection events carry the detection id,
 /// the hop depth of the processing step that produced them, and — for
 /// wire events — source/target algebra sizes and encoded bytes, so a
@@ -270,6 +316,16 @@ pub enum Event {
     VoteRescinded {
         sweep: u64,
     },
+    /// Threaded runtime: a concurrent-mutator thread performed one
+    /// operation touching the recording process. Lamport-stamped like any
+    /// other event, so `--critical-path` waterfalls show collector-vs-
+    /// mutator interference on the same causal axis. `ref_id` names the
+    /// remote reference involved, when one is (allocate/drop-root carry
+    /// none).
+    MutatorOp {
+        op: MutatorOpKind,
+        ref_id: Option<RefId>,
+    },
 }
 
 impl Event {
@@ -320,6 +376,7 @@ impl Event {
             Event::PhaseEnded { .. } => "phase_ended",
             Event::VoteCast { .. } => "vote_cast",
             Event::VoteRescinded { .. } => "vote_rescinded",
+            Event::MutatorOp { .. } => "mutator_op",
         }
     }
 
@@ -452,6 +509,12 @@ impl Event {
             Event::VoteRescinded { sweep } => {
                 obj.insert("sweep".into(), json!(*sweep));
             }
+            Event::MutatorOp { op, ref_id } => {
+                obj.insert("op".into(), json!(op.name()));
+                if let Some(r) = ref_id {
+                    obj.insert("ref".into(), json!(r.0));
+                }
+            }
         }
     }
 
@@ -548,6 +611,13 @@ impl Event {
             "vote_rescinded" => Event::VoteRescinded {
                 sweep: field_u64(m, "sweep")?,
             },
+            "mutator_op" => Event::MutatorOp {
+                op: MutatorOpKind::from_name(field_str(m, "op")?)?,
+                ref_id: match m.get("ref") {
+                    None => None,
+                    Some(_) => Some(RefId(field_u64(m, "ref")?)),
+                },
+            },
             _ => return None,
         })
     }
@@ -568,6 +638,7 @@ impl Event {
             Event::NssSent { .. } | Event::NssApplied { .. } | Event::NssAcked { .. } => filter.nss,
             Event::PhaseStarted { .. } | Event::PhaseEnded { .. } => filter.phases,
             Event::VoteCast { .. } | Event::VoteRescinded { .. } => filter.quiescence,
+            Event::MutatorOp { .. } => filter.mutator,
         }
     }
 }
@@ -670,6 +741,7 @@ mod tests {
             nss: true,
             phases: false,
             quiescence: false,
+            mutator: false,
         };
         assert!(Event::NssAcked {
             to: ProcId(1),
@@ -683,6 +755,23 @@ mod tests {
             scion: RefId(1)
         }
         .passes(&only_nss));
+        assert!(!Event::MutatorOp {
+            op: MutatorOpKind::Invoke,
+            ref_id: Some(RefId(4))
+        }
+        .passes(&only_nss));
+        let only_mutator = TraceFilter {
+            detections: false,
+            nss: false,
+            phases: false,
+            quiescence: false,
+            mutator: true,
+        };
+        assert!(Event::MutatorOp {
+            op: MutatorOpKind::Allocate,
+            ref_id: None
+        }
+        .passes(&only_mutator));
     }
 
     #[test]
@@ -813,6 +902,14 @@ mod tests {
             },
             Event::VoteCast { sweep: 9 },
             Event::VoteRescinded { sweep: 10 },
+            Event::MutatorOp {
+                op: MutatorOpKind::Export,
+                ref_id: Some(RefId(281474976710656)),
+            },
+            Event::MutatorOp {
+                op: MutatorOpKind::DropRoot,
+                ref_id: None,
+            },
         ];
         for (i, event) in events.into_iter().enumerate() {
             let rec = Recorded {

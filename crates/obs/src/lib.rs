@@ -46,7 +46,7 @@ pub use causal::{
     check_causal, perfetto_trace, top_waterfalls, waterfall, LamportClock, PerfettoSummary,
     Segment, SegmentKind, Waterfall,
 };
-pub use event::{DropReason, Event, Phase, Recorded, TermReason};
+pub use event::{DropReason, Event, MutatorOpKind, Phase, Recorded, TermReason};
 pub use health::{
     HealthReason, HealthReport, Heartbeat, HeartbeatSlot, Heartbeats, WorkerHealth, WorkerStage,
 };

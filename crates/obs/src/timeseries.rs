@@ -40,25 +40,27 @@ pub type SampleRow = (Sample, usize);
 /// The monotone-counter fields of a [`Sample`], in export order. One list
 /// drives encode, decode, monotonicity checking, and rate derivation, so
 /// the four can never disagree on what a counter is.
-pub const COUNTER_FIELDS: [SampleField; 6] = [
+pub const COUNTER_FIELDS: [SampleField; 7] = [
     ("lgc_runs", |s| s.lgc_runs),
     ("snapshots", |s| s.snapshots),
     ("cdms_sent", |s| s.cdms_sent),
     ("cycles_detected", |s| s.cycles_detected),
     ("objects_reclaimed", |s| s.objects_reclaimed),
     ("scions_reclaimed", |s| s.scions_reclaimed),
+    ("mutator_ops", |s| s.mutator_ops),
 ];
 
 /// The point-in-time gauge fields of a [`Sample`], in export order.
 /// Gauges may move in either direction; only the counters above carry a
 /// monotonicity invariant.
-pub const GAUGE_FIELDS: [SampleField; 6] = [
+pub const GAUGE_FIELDS: [SampleField; 7] = [
     ("live_objects", |s| s.live_objects),
     ("candidates", |s| s.candidates),
     ("max_backoff_attempt", |s| s.max_backoff_attempt),
     ("in_flight_cdms", |s| s.in_flight_cdms),
     ("inbox_depth", |s| s.inbox_depth),
     ("votes_held", |s| s.votes_held),
+    ("pinned_scions", |s| s.pinned_scions),
 ];
 
 /// One telemetry snapshot. `proc` is `None` for the system-wide aggregate
@@ -88,6 +90,9 @@ pub struct Sample {
     pub inbox_depth: u64,
     /// Quiescence votes currently held (threaded); 0 sequentially.
     pub votes_held: u64,
+    /// Scions currently pinned by in-flight mutator exports/invocations
+    /// (the pin/unpin handshake); 0 when no mutator runs.
+    pub pinned_scions: u64,
     // Counters (monotone within a series).
     pub lgc_runs: u64,
     pub snapshots: u64,
@@ -97,6 +102,9 @@ pub struct Sample {
     /// Scions reclaimed by any layer (acyclic reference listing + cycle
     /// verdicts).
     pub scions_reclaimed: u64,
+    /// Concurrent-mutator operations completed (allocate + export +
+    /// invoke + drop); 0 when no mutator runs.
+    pub mutator_ops: u64,
 }
 
 impl Sample {
@@ -144,12 +152,14 @@ impl Sample {
         s.in_flight_cdms = field_u64(m, "in_flight_cdms")?;
         s.inbox_depth = field_u64(m, "inbox_depth")?;
         s.votes_held = field_u64(m, "votes_held")?;
+        s.pinned_scions = field_u64(m, "pinned_scions")?;
         s.lgc_runs = field_u64(m, "lgc_runs")?;
         s.snapshots = field_u64(m, "snapshots")?;
         s.cdms_sent = field_u64(m, "cdms_sent")?;
         s.cycles_detected = field_u64(m, "cycles_detected")?;
         s.objects_reclaimed = field_u64(m, "objects_reclaimed")?;
         s.scions_reclaimed = field_u64(m, "scions_reclaimed")?;
+        s.mutator_ops = field_u64(m, "mutator_ops")?;
         Some((s, cap))
     }
 
@@ -532,6 +542,8 @@ mod tests {
             cycles_detected: 2,
             objects_reclaimed: 52,
             scions_reclaimed: 6,
+            pinned_scions: 2,
+            mutator_ops: 77,
         };
         let v = s.to_json(256);
         let line = serde_json::to_string(&v).unwrap();

@@ -110,6 +110,10 @@ pub fn apply_new_set_stubs(tables: &mut RemotingTables, msg: &NewSetStubs) -> Ap
         .into_iter()
         .filter_map(|r| tables.remove_scion(r))
         .collect();
+    // Scions skipped above *only* because they were pinned would leak: a
+    // content-settled set is never resent. Save the accepted set so
+    // `RemotingTables::sweep_deferred_nss` can re-judge them once unpinned.
+    tables.save_live_set(msg.from, msg.lgc_at, live);
     AppliedNss {
         removed,
         stale: false,
@@ -233,6 +237,24 @@ mod tests {
         let msgs = build_new_set_stubs(&mut holder, &[ProcId(1)], SimTime(200));
         let applied = apply_new_set_stubs(&mut owner, &msgs[0].1);
         assert_eq!(applied.removed.len(), 1, "unpinned scion reclaimed");
+    }
+
+    #[test]
+    fn pinned_scion_reclaimed_by_deferred_sweep_without_resend() {
+        // The ack/retry layer never resends a content-settled set, so a
+        // scion that dodged judgement only by being pinned must be caught
+        // by the saved-set sweep once the pin drops.
+        let (mut holder, mut owner) = pair();
+        owner.add_scion(RefId(5), obj(1, 0), ProcId(0), SimTime(0));
+        owner.pin_scion(RefId(5)).unwrap();
+        let msgs = build_new_set_stubs(&mut holder, &[ProcId(1)], SimTime(100));
+        let applied = apply_new_set_stubs(&mut owner, &msgs[0].1);
+        assert!(applied.removed.is_empty(), "pinned scion survives apply");
+        assert!(owner.sweep_deferred_nss().is_empty(), "still pinned");
+        owner.unpin_scion(RefId(5)).unwrap();
+        let removed = owner.sweep_deferred_nss();
+        assert_eq!(removed.len(), 1, "deferred judgement lands");
+        assert_eq!(removed[0].ref_id, RefId(5));
     }
 
     #[test]

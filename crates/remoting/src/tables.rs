@@ -84,6 +84,13 @@ pub struct RemotingTables {
     /// Next incarnation number per reference id (tombstones survive scion
     /// deletion so recreations are distinguishable).
     incarnations: FxHashMap<RefId, u32>,
+    /// Last accepted `NewSetStubs` content per sender: `(lgc_at, live set)`.
+    ///
+    /// A scion that survived its judgement only because it was pinned would
+    /// otherwise leak: the sender's content-change detection never resends a
+    /// settled set. [`Self::sweep_deferred_nss`] re-applies these saved sets
+    /// once the pin is released.
+    saved_live: FxHashMap<ProcId, (SimTime, FxHashSet<RefId>)>,
     stats: RemotingStats,
 }
 
@@ -98,6 +105,7 @@ impl RemotingTables {
             nss_seq_out: 0,
             nss_seq_seen: FxHashMap::default(),
             incarnations: FxHashMap::default(),
+            saved_live: FxHashMap::default(),
             stats: RemotingStats::default(),
         }
     }
@@ -314,6 +322,38 @@ impl RemotingTables {
         Ok(stub.ic)
     }
 
+    /// Adopt the surviving scion's counter into a freshly re-created stub.
+    ///
+    /// The pair's counters count invocations in flight (sent at the stub
+    /// minus received at the scion); at the instant a stub is repaired for
+    /// a scion that outlived it, nothing is in flight, so the halves must
+    /// be equal. Leaving the new stub at zero against a scion with `ic =
+    /// k` is not a safety problem — the CDM invocation-counter match can
+    /// only *veto* deletions — but the veto becomes permanent: every
+    /// detection crossing the pair aborts with an IC mismatch forever,
+    /// the scion stays a candidate forever, and quiescence never closes.
+    pub fn sync_stub_ic(&mut self, ref_id: RefId, ic: u64) -> Result<(), ModelError> {
+        let stub = self
+            .stubs
+            .get_mut(&ref_id)
+            .ok_or(ModelError::UnknownStub(self.proc, ref_id))?;
+        stub.ic = ic;
+        Ok(())
+    }
+
+    /// Adopt the surviving stub's counter into a freshly re-created
+    /// scion. Mirror of [`RemotingTables::sync_stub_ic`] for the opposite
+    /// repair direction (scion deleted by a verdict while the stub and
+    /// its target both live on).
+    pub fn sync_scion_ic(&mut self, ref_id: RefId, ic: u64) -> Result<(), ModelError> {
+        let scion = self
+            .scions
+            .get_mut(&ref_id)
+            .ok_or(ModelError::UnknownScion(self.proc, ref_id))?;
+        scion.ic = ic;
+        Ok(())
+    }
+
     /// Callee side of an invocation or reply through `ref_id`.
     pub fn record_receive_through_scion(
         &mut self,
@@ -355,6 +395,48 @@ impl RemotingTables {
             .ok_or(ModelError::UnknownStub(self.proc, ref_id))?;
         stub.ic += 1;
         Ok(stub.ic)
+    }
+
+    /// Number of scions currently pinned by in-flight exports or
+    /// invocations (a telemetry gauge; also how long `sweep_deferred_nss`
+    /// may still have deferred work for this process).
+    pub fn pinned_scion_count(&self) -> usize {
+        self.scions.values().filter(|s| s.pinned > 0).count()
+    }
+
+    /// Record the content of an accepted `NewSetStubs` so scions it could
+    /// not judge (pinned at the time) can be re-judged later by
+    /// [`Self::sweep_deferred_nss`].
+    pub fn save_live_set(&mut self, from: ProcId, lgc_at: SimTime, live: FxHashSet<RefId>) {
+        self.saved_live.insert(from, (lgc_at, live));
+    }
+
+    /// Re-apply every saved live set: delete scions whose judgement was
+    /// deferred because they were pinned when the set arrived and are now
+    /// unpinned. Returns the removed scions.
+    ///
+    /// Safe against late re-exports because [`Self::refresh_scion`] moves
+    /// `created_at` past any set built before the re-establishment, so the
+    /// horizon check below excludes them.
+    pub fn sweep_deferred_nss(&mut self) -> Vec<Scion> {
+        let doomed: Vec<RefId> = self
+            .scions
+            .values()
+            .filter(|s| {
+                s.pinned == 0
+                    && self
+                        .saved_live
+                        .get(&s.from_proc)
+                        .is_some_and(|(lgc_at, live)| {
+                            s.created_at < *lgc_at && !live.contains(&s.ref_id)
+                        })
+            })
+            .map(|s| s.ref_id)
+            .collect();
+        doomed
+            .into_iter()
+            .filter_map(|r| self.remove_scion(r))
+            .collect()
     }
 
     // --- NewSetStubs sequencing ----------------------------------------------
@@ -476,6 +558,41 @@ mod tests {
         let peers = t.stub_peers();
         assert_eq!(peers.len(), 2);
         assert!(peers.contains(&ProcId(1)) && peers.contains(&ProcId(2)));
+    }
+
+    #[test]
+    fn deferred_sweep_reclaims_unpinned_scion() {
+        let mut t = tables();
+        t.add_scion(RefId(4), obj(0, 0), ProcId(1), SimTime(0));
+        t.pin_scion(RefId(4)).unwrap();
+        assert_eq!(t.pinned_scion_count(), 1);
+        // The set that should have killed it arrives while pinned.
+        t.save_live_set(ProcId(1), SimTime(10), FxHashSet::default());
+        assert!(t.sweep_deferred_nss().is_empty(), "pinned: deferred");
+        t.unpin_scion(RefId(4)).unwrap();
+        let removed = t.sweep_deferred_nss();
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].ref_id, RefId(4));
+        assert_eq!(t.pinned_scion_count(), 0);
+    }
+
+    #[test]
+    fn deferred_sweep_respects_refresh_horizon() {
+        let mut t = tables();
+        t.add_scion(RefId(4), obj(0, 0), ProcId(1), SimTime(0));
+        t.save_live_set(ProcId(1), SimTime(10), FxHashSet::default());
+        // Re-export during the window: the horizon moves past the set.
+        t.refresh_scion(RefId(4), SimTime(10));
+        assert!(t.sweep_deferred_nss().is_empty(), "refreshed scion safe");
+        // A scion named live by the saved set also survives.
+        t.add_scion(RefId(5), obj(0, 1), ProcId(1), SimTime(0));
+        let mut live = FxHashSet::default();
+        live.insert(RefId(5));
+        t.save_live_set(ProcId(1), SimTime(20), live);
+        let removed = t.sweep_deferred_nss();
+        assert_eq!(removed.len(), 1, "only the stale unprotected scion dies");
+        assert_eq!(removed[0].ref_id, RefId(4));
+        assert!(t.scion(RefId(5)).is_some());
     }
 
     #[test]

@@ -30,6 +30,8 @@
 //! handshake) and do not interact with the cycle detector's safety
 //! argument, which rests on invocation counters alone.
 
+#![warn(missing_docs)]
+
 pub mod messages;
 pub mod metrics;
 pub mod oracle;
@@ -41,7 +43,7 @@ pub mod workload;
 
 pub use messages::{InvokeSpec, SysMessage};
 pub use metrics::Metrics;
-pub use oracle::{global_live, live_count_by_proc};
+pub use oracle::{global_live, global_live_procs, live_count_by_proc, MutOp, ShadowGraph};
 pub use process::Process;
 pub use system::System;
 pub use threaded::{merged_metrics, ReportHook, SweepHook, ThreadedOptions, ThreadedRun};

@@ -10,6 +10,7 @@ pub enum SysMessage {
     /// Remote invocation (application class, reliable). Carries the callee
     /// reply obligations alongside the remoting payload.
     Invoke {
+        /// The remoting-layer invocation body.
         payload: InvokePayload,
         /// Objects the callee will export back in its reply.
         reply_exports: Vec<ObjId>,
@@ -18,19 +19,35 @@ pub enum SysMessage {
     },
     /// Invocation reply (application class, reliable).
     Reply {
+        /// The remoting-layer reply body.
         payload: ReplyPayload,
+        /// Caller-side object that receives the returned references.
         receiver: Option<ObjId>,
     },
     /// Reference-listing update (GC class, droppable).
     Nss(NewSetStubs),
     /// A cycle detection message travelling along reference `via`
     /// (GC class, droppable).
-    Cdm { via: RefId, cdm: Cdm },
+    Cdm {
+        /// The reference the CDM travels along.
+        via: RefId,
+        /// The detection message itself.
+        cdm: Cdm,
+    },
     /// Cycle verdict follow-up: the sender proved the cycle containing
     /// this scion garbage; the owner deletes it (idempotent, droppable —
     /// a lost deletion is finished off by reference listing once the
-    /// other deletions let the LGCs unravel the objects).
-    DeleteScion { scion: RefId, incarnation: u32 },
+    /// other deletions let the LGCs unravel the objects). `ic` is the
+    /// invocation counter the verdict witnessed: the owner re-checks it
+    /// before deleting (lazy IC barrier against a concurrent mutator).
+    DeleteScion {
+        /// The scion proven part of a garbage cycle.
+        scion: RefId,
+        /// The incarnation the verdict witnessed (ABA guard).
+        incarnation: u32,
+        /// The invocation counter the verdict witnessed.
+        ic: u64,
+    },
 }
 
 impl SysMessage {
@@ -41,7 +58,7 @@ impl SysMessage {
             SysMessage::Reply { payload, .. } => payload.size_bytes(),
             SysMessage::Nss(nss) => nss.size_bytes(),
             SysMessage::Cdm { cdm, .. } => 8 + cdm.size_bytes(),
-            SysMessage::DeleteScion { .. } => 16,
+            SysMessage::DeleteScion { .. } => 24,
         }
     }
 

@@ -9,37 +9,77 @@ use serde_json::Value;
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
 pub struct Metrics {
     // Mutator.
+    /// Remote invocations delivered through a stub/scion pair.
     pub invocations: u64,
+    /// Invocation replies returned to the caller.
     pub replies: u64,
+    /// References exported across process boundaries.
     pub refs_exported: u64,
 
+    // Concurrent mutator (threaded runtime), attributed to the process
+    // holding the lock when the op applied.
+    /// Concurrent-mutator *allocate* ops applied.
+    pub mutator_allocs: u64,
+    /// Concurrent-mutator *export* ops applied (pair created or re-shared).
+    pub mutator_exports: u64,
+    /// Concurrent-mutator *invoke* ops applied (IC bump + pinned delivery).
+    pub mutator_invokes: u64,
+    /// Concurrent-mutator *drop-reference* ops applied.
+    pub mutator_ref_drops: u64,
+    /// Concurrent-mutator root removals applied.
+    pub mutator_root_drops: u64,
+    /// Ops the mutator gave up on because a precondition failed under a
+    /// race (handle died, stub vanished); bounded interference, not error.
+    pub mutator_ops_skipped: u64,
+
     // Local GC.
+    /// Local mark-sweep collections run.
     pub lgc_runs: u64,
+    /// Objects freed by local collection.
     pub objects_reclaimed: u64,
+    /// Weak-reference monitor passes (OBIWAN integration mode).
     pub monitor_passes: u64,
 
     // Snapshot/summarization.
+    /// Graph snapshots summarized.
     pub snapshots: u64,
+    /// Scion entries across all published summaries (cumulative).
     pub summary_scions: u64,
+    /// Stub entries across all published summaries (cumulative).
     pub summary_stubs: u64,
 
     // Acyclic DGC.
+    /// `NewSetStubs` messages sent.
     pub nss_sent: u64,
+    /// `NewSetStubs` messages applied at the receiver.
     pub nss_applied: u64,
+    /// `NewSetStubs` messages discarded as stale (older sequence).
     pub nss_stale: u64,
+    /// Scions reclaimed by the reference-listing acyclic DGC.
     pub scions_reclaimed_acyclic: u64,
 
     // Cycle detection.
+    /// Cycle detections initiated from a candidate scan.
     pub detections_started: u64,
+    /// CDMs put on the wire (initiations and forwards).
     pub cdms_sent: u64,
+    /// CDMs delivered and expanded at a receiver.
     pub cdms_delivered: u64,
+    /// Detections that ended in an exact algebra match (garbage cycle).
     pub cycles_detected: u64,
+    /// Scions deleted on a cycle verdict (incarnation + IC re-checked).
     pub scions_deleted_by_dcda: u64,
+    /// CDMs dropped because the target scion no longer existed.
     pub detections_dropped_no_scion: u64,
+    /// Detections aborted by the invocation-counter barrier.
     pub detections_aborted_ic: u64,
+    /// Derivations dropped by the hop cap.
     pub detections_dropped_hops: u64,
+    /// Derivations that died with no outgoing stubs to follow.
     pub detections_terminated_no_stubs: u64,
+    /// Derivations that died because every outgoing path was locally reachable (a live path).
     pub detections_terminated_local: u64,
+    /// Derivations stopped by the §3.1 step 15 no-new-information rule.
     pub detections_terminated_no_new_info: u64,
     /// Detections stopped by the per-detection message budget.
     pub detections_terminated_budget: u64,
@@ -49,27 +89,50 @@ pub struct Metrics {
     /// Sibling branches stopped by the §3.1 step 15 no-new-information
     /// rule while other branches kept going.
     pub branches_no_new_info: u64,
+    /// Termination-credit echoes sent back to remote detection initiators
+    /// (weight-throwing termination detection on the CDM walk).
+    pub liveness_echoes: u64,
+    /// Detections whose credit came home fully with every branch ending
+    /// conclusively: the candidate was proven live and is suppressed from
+    /// re-scanning until the next mutation epoch.
+    pub liveness_verdicts: u64,
     /// High-water gauge, not a counter: the largest encoded CDM seen.
     pub max_cdm_bytes: u64,
 
     // Fault injection / unreliable transport (threaded runtime).
+    /// `NewSetStubs` messages lost (injected fault or full inbox).
     pub nss_dropped: u64,
+    /// CDM / credit-echo messages lost (injected fault or full inbox).
     pub cdms_dropped: u64,
+    /// Injected duplicate CDM / credit-echo copies discarded by the
+    /// receiver-side tag window (duplicates must not forge credit).
+    pub cdms_deduped: u64,
+    /// `DeleteScion` messages lost (injected fault or full inbox).
     pub deletes_dropped: u64,
+    /// NSS acknowledgements lost (injected fault or full inbox).
     pub acks_dropped: u64,
+    /// Message losses injected by the seeded fault model.
     pub faults_injected: u64,
+    /// Message duplications injected by the seeded fault model.
     pub duplicates_injected: u64,
+    /// `NewSetStubs` retransmissions (unacked past the retry horizon).
     pub nss_retries: u64,
 
     // Quiescence voting (threaded runtime).
+    /// Quiescence votes cast by threaded workers.
     pub votes_cast: u64,
+    /// Quiescence votes rescinded on renewed activity.
     pub votes_rescinded: u64,
 
     // Oracle verdicts (safety violations; must stay 0 unless an unsafe
     // ablation is deliberately enabled).
+    /// Oracle verdicts: live objects freed (must stay 0).
     pub unsafe_frees: u64,
+    /// Oracle verdicts: live scions deleted (must stay 0).
     pub unsafe_scion_deletes: u64,
+    /// Oracle verdicts: invocation arrived at a deleted scion (must stay 0).
     pub invoke_on_missing_scion: u64,
+    /// Oracle verdicts: reply arrived at a deleted stub (must stay 0).
     pub reply_on_missing_stub: u64,
 }
 
@@ -82,6 +145,12 @@ macro_rules! for_each_counter {
             invocations,
             replies,
             refs_exported,
+            mutator_allocs,
+            mutator_exports,
+            mutator_invokes,
+            mutator_ref_drops,
+            mutator_root_drops,
+            mutator_ops_skipped,
             lgc_runs,
             objects_reclaimed,
             monitor_passes,
@@ -106,8 +175,11 @@ macro_rules! for_each_counter {
             detections_terminated_budget,
             branches_pruned_local,
             branches_no_new_info,
+            liveness_echoes,
+            liveness_verdicts,
             nss_dropped,
             cdms_dropped,
+            cdms_deduped,
             deletes_dropped,
             acks_dropped,
             faults_injected,
@@ -179,6 +251,9 @@ impl Metrics {
         out
     }
 
+    /// Append the Prometheus rendering to `out` (see
+    /// [`Metrics::to_prometheus`]); lets threaded callers compose one
+    /// scrape payload across several pieces without reallocating.
     pub fn to_prometheus_into(&self, out: &mut String) {
         use std::fmt::Write as _;
         macro_rules! expose {
@@ -217,6 +292,16 @@ impl Metrics {
     /// Safety violations observed by the oracle.
     pub fn safety_violations(&self) -> u64 {
         self.unsafe_frees + self.unsafe_scion_deletes
+    }
+
+    /// Concurrent-mutator operations completed (all kinds, skips
+    /// excluded) — the `mutator_ops` time-series counter.
+    pub fn mutator_ops(&self) -> u64 {
+        self.mutator_allocs
+            + self.mutator_exports
+            + self.mutator_invokes
+            + self.mutator_ref_drops
+            + self.mutator_root_drops
     }
 }
 
@@ -351,8 +436,8 @@ mod tests {
         assert_eq!(parsed["acdgc_votes_cast_total"], 8);
         assert_eq!(parsed["acdgc_nss_sent_total"], 0, "zeroes still exposed");
         assert_eq!(parsed["acdgc_max_cdm_bytes"], 4096);
-        // One sample per field: 40 counters + the gauge.
-        assert_eq!(parsed.len(), 41, "{text}");
+        // One sample per field: 49 counters + the gauge.
+        assert_eq!(parsed.len(), 50, "{text}");
     }
 
     #[test]
@@ -364,7 +449,7 @@ mod tests {
         };
         match m.to_json() {
             Value::Object(obj) => {
-                assert_eq!(obj.iter().count(), 41, "40 counters + gauge");
+                assert_eq!(obj.iter().count(), 50, "49 counters + gauge");
                 assert_eq!(obj.get("cdms_sent"), Some(&Value::from(3u64)));
                 assert_eq!(obj.get("max_cdm_bytes"), Some(&Value::from(128u64)));
             }

@@ -17,15 +17,23 @@
 //! message is oracle-dead but never reclaimed, which is the conservative
 //! direction.
 
+use crate::process::Process;
 use crate::system::System;
-use acdgc_model::{ObjId, ProcId};
-use rustc_hash::FxHashSet;
+use acdgc_model::{ObjId, ProcId, RefId};
+use rustc_hash::{FxHashMap, FxHashSet};
 
 /// All objects reachable from any local root, across processes.
 pub fn global_live(system: &System) -> FxHashSet<ObjId> {
+    global_live_procs(system.procs())
+}
+
+/// [`global_live`] over a bare process slice, for runtimes that do not
+/// wrap their processes in a [`System`] (the threaded runtime hands the
+/// oracle its final unwrapped processes). `procs[i]` must be `ProcId(i)`.
+pub fn global_live_procs(procs: &[Process]) -> FxHashSet<ObjId> {
     let mut live: FxHashSet<ObjId> = FxHashSet::default();
     let mut queue: Vec<ObjId> = Vec::new();
-    for proc in system.procs() {
+    for proc in procs {
         for slot in proc.heap.roots() {
             if let Some(id) = proc.heap.id_of_slot(slot) {
                 if live.insert(id) {
@@ -35,7 +43,7 @@ pub fn global_live(system: &System) -> FxHashSet<ObjId> {
         }
     }
     while let Some(id) = queue.pop() {
-        let proc = system.proc(id.proc);
+        let proc = &procs[id.proc.index()];
         let Ok(record) = proc.heap.get(id) else {
             continue;
         };
@@ -49,7 +57,7 @@ pub fn global_live(system: &System) -> FxHashSet<ObjId> {
         for ref_id in record.remote_refs() {
             if let Some(stub) = proc.tables.stub(ref_id) {
                 let target = stub.target;
-                if system.proc(target.proc).heap.contains(target) && live.insert(target) {
+                if procs[target.proc.index()].heap.contains(target) && live.insert(target) {
                     queue.push(target);
                 }
             }
@@ -77,6 +85,163 @@ pub fn ref_is_live(
                 .id_of_slot(slot)
                 .is_some_and(|id| live.contains(&id))
     })
+}
+
+/// One graph edit performed by a concurrent mutator, recorded while the
+/// owning process lock was held (so the log's order is consistent with
+/// every per-object order the heaps observed).
+///
+/// The log exists for verification only: [`ShadowGraph::apply_log`]
+/// replays it over a pre-run snapshot of the object graph to recompute
+/// ground-truth liveness for a run whose mutator raced the collectors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MutOp {
+    /// A fresh object appeared (optionally rooted at birth).
+    Allocate {
+        /// The new object.
+        obj: ObjId,
+        /// Whether it was rooted in the same critical section.
+        rooted: bool,
+    },
+    /// `obj` became a local root.
+    AddRoot(ObjId),
+    /// `obj` stopped being a local root.
+    RemoveRoot(ObjId),
+    /// A local edge `from -> to` was added.
+    AddLocalRef(ObjId, ObjId),
+    /// A local edge `from -> to` was removed.
+    RemoveLocalRef(ObjId, ObjId),
+    /// `from` gained a remote edge through `ref_id`, which designates `to`.
+    AddRemoteRef(ObjId, RefId, ObjId),
+    /// `from` lost its remote edge through `ref_id`.
+    RemoveRemoteRef(ObjId, RefId),
+}
+
+/// An edge in the shadow graph: local edges name their target directly,
+/// remote edges go through the reference id (resolved via
+/// [`ShadowGraph::ref_targets`], mirroring stub indirection).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ShadowRef {
+    Direct(ObjId),
+    Via(RefId),
+}
+
+/// A pure object-graph model — no stubs, scions, pins or collectors —
+/// built from the pre-run heaps and advanced by replaying a [`MutOp`] log.
+///
+/// Its [`Self::live`] set is the ground truth a concurrent run is judged
+/// against: the collectors may not delete any shadow-live object
+/// (safety), and must eventually delete every shadow-dead one
+/// (completeness), no matter how the mutator raced them.
+#[derive(Clone, Debug, Default)]
+pub struct ShadowGraph {
+    roots: FxHashSet<ObjId>,
+    edges: FxHashMap<ObjId, Vec<ShadowRef>>,
+    ref_targets: FxHashMap<RefId, ObjId>,
+}
+
+impl ShadowGraph {
+    /// Capture the object graph of `procs` (typically before a run
+    /// starts). Remote references resolve through the current stub tables.
+    pub fn shadow_of(procs: &[Process]) -> Self {
+        let mut g = ShadowGraph::default();
+        for proc in procs {
+            for slot in proc.heap.roots() {
+                if let Some(id) = proc.heap.id_of_slot(slot) {
+                    g.roots.insert(id);
+                }
+            }
+            for (slot, record) in proc.heap.iter() {
+                let Some(id) = proc.heap.id_of_slot(slot) else {
+                    continue;
+                };
+                let out = g.edges.entry(id).or_default();
+                for target_slot in record.local_refs() {
+                    if let Some(target) = proc.heap.id_of_slot(target_slot) {
+                        out.push(ShadowRef::Direct(target));
+                    }
+                }
+                for ref_id in record.remote_refs() {
+                    out.push(ShadowRef::Via(ref_id));
+                    if let Some(stub) = proc.tables.stub(ref_id) {
+                        g.ref_targets.insert(ref_id, stub.target);
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    /// Replay a mutation log over the captured graph.
+    pub fn apply_log(&mut self, log: &[MutOp]) {
+        for op in log {
+            match *op {
+                MutOp::Allocate { obj, rooted } => {
+                    self.edges.entry(obj).or_default();
+                    if rooted {
+                        self.roots.insert(obj);
+                    }
+                }
+                MutOp::AddRoot(o) => {
+                    self.roots.insert(o);
+                }
+                MutOp::RemoveRoot(o) => {
+                    self.roots.remove(&o);
+                }
+                MutOp::AddLocalRef(from, to) => {
+                    self.edges
+                        .entry(from)
+                        .or_default()
+                        .push(ShadowRef::Direct(to));
+                }
+                MutOp::RemoveLocalRef(from, to) => {
+                    if let Some(out) = self.edges.get_mut(&from) {
+                        if let Some(i) = out.iter().position(|r| *r == ShadowRef::Direct(to)) {
+                            out.swap_remove(i);
+                        }
+                    }
+                }
+                MutOp::AddRemoteRef(from, ref_id, to) => {
+                    self.edges
+                        .entry(from)
+                        .or_default()
+                        .push(ShadowRef::Via(ref_id));
+                    self.ref_targets.insert(ref_id, to);
+                }
+                MutOp::RemoveRemoteRef(from, ref_id) => {
+                    if let Some(out) = self.edges.get_mut(&from) {
+                        if let Some(i) = out.iter().position(|r| *r == ShadowRef::Via(ref_id)) {
+                            out.swap_remove(i);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Ground-truth live set: everything reachable from the shadow roots.
+    pub fn live(&self) -> FxHashSet<ObjId> {
+        let mut live: FxHashSet<ObjId> = FxHashSet::default();
+        let mut queue: Vec<ObjId> = self.roots.iter().copied().collect();
+        live.extend(queue.iter().copied());
+        while let Some(id) = queue.pop() {
+            let Some(out) = self.edges.get(&id) else {
+                continue;
+            };
+            for r in out {
+                let target = match r {
+                    ShadowRef::Direct(t) => Some(*t),
+                    ShadowRef::Via(ref_id) => self.ref_targets.get(ref_id).copied(),
+                };
+                if let Some(t) = target {
+                    if live.insert(t) {
+                        queue.push(t);
+                    }
+                }
+            }
+        }
+        live
+    }
 }
 
 /// Oracle-live object counts per process (completeness assertions).
@@ -145,6 +310,55 @@ mod tests {
             2,
             "rooting either end revives both"
         );
+    }
+
+    #[test]
+    fn shadow_matches_oracle_on_static_graph() {
+        let mut sys = system(2);
+        let a = sys.alloc(ProcId(0), 1);
+        let b = sys.alloc(ProcId(1), 1);
+        let c = sys.alloc(ProcId(1), 1);
+        sys.create_remote_ref(a, b).unwrap();
+        sys.add_local_ref(b, c).unwrap();
+        sys.add_root(a).unwrap();
+        let shadow = ShadowGraph::shadow_of(sys.procs());
+        assert_eq!(shadow.live(), global_live(&sys));
+    }
+
+    #[test]
+    fn shadow_replay_tracks_mutations() {
+        let mut sys = system(2);
+        let a = sys.alloc(ProcId(0), 1);
+        let b = sys.alloc(ProcId(1), 1);
+        sys.create_remote_ref(a, b).unwrap();
+        sys.add_root(a).unwrap();
+        let mut shadow = ShadowGraph::shadow_of(sys.procs());
+        assert_eq!(shadow.live().len(), 2);
+        // A new rooted object gains a local edge; the remote edge drops.
+        let c = ObjId::new(ProcId(0), 99, 0);
+        let r = sys
+            .proc(ProcId(0))
+            .heap
+            .get(a)
+            .unwrap()
+            .remote_refs()
+            .next()
+            .unwrap();
+        shadow.apply_log(&[
+            MutOp::Allocate {
+                obj: c,
+                rooted: true,
+            },
+            MutOp::AddLocalRef(c, a),
+            MutOp::RemoveRoot(a),
+            MutOp::RemoveRemoteRef(a, r),
+        ]);
+        let live = shadow.live();
+        assert!(live.contains(&c) && live.contains(&a), "c roots a");
+        assert!(!live.contains(&b), "dropped remote edge kills b");
+        // Re-adding the remote edge (re-export) revives b.
+        shadow.apply_log(&[MutOp::AddRemoteRef(a, r, b)]);
+        assert!(shadow.live().contains(&b));
     }
 
     #[test]

@@ -14,11 +14,14 @@ use acdgc_snapshot::{SccEngine, SummarizedGraph};
 /// [`crate::threaded`] runtime cell.
 #[derive(Clone, Debug)]
 pub struct Process {
+    /// The process's object heap and roots.
     pub heap: Heap,
+    /// Stub/scion tables, invocation counters, acyclic-DGC state.
     pub tables: RemotingTables,
     /// Latest *published* summary — the only view the DCDA may use. Starts
     /// empty: a process that never summarized never answers CDMs.
     pub summary: SummarizedGraph,
+    /// Candidate tracking: ages, retry backoff, proven-live suppression.
     pub candidates: CandidateState,
     /// Reusable single-pass summarizer: per-process so parallel snapshot
     /// stages share nothing, and so its scratch amortizes across rounds.
@@ -31,10 +34,13 @@ pub struct Process {
     /// merged [`Metrics`] too; per-process attribution is what skewed
     /// workloads need.
     pub metrics: Metrics,
-    /// Next scheduled phase times (periodic mode).
+    /// Next scheduled LGC time (periodic mode).
     pub next_lgc: SimTime,
+    /// Next scheduled snapshot time (periodic mode).
     pub next_snapshot: SimTime,
+    /// Next scheduled candidate-scan time (periodic mode).
     pub next_scan: SimTime,
+    /// Next scheduled weak-ref monitor pass (periodic mode).
     pub next_monitor: SimTime,
     summary_version: u64,
 }
@@ -61,6 +67,7 @@ impl Process {
         }
     }
 
+    /// The process's id.
     pub fn proc(&self) -> ProcId {
         self.heap.proc()
     }

@@ -19,11 +19,17 @@ use rand::Rng;
 /// `F_P2 ≙ r_bf`, `Q_P4 ≙ r_jq`, `O_P3 ≙ r_so`, `D_P1 ≙ r_kd`.
 #[derive(Clone, Debug)]
 pub struct Fig3 {
+    /// Hosts `A`–`D`; the paper's P1.
     pub p1: ProcId,
+    /// Hosts `F`, `H`, `J`; the paper's P2.
     pub p2: ProcId,
+    /// Hosts `O`, `M`, `K`; the paper's P3.
     pub p3: ProcId,
+    /// Hosts `Q`, `R`, `S`; the paper's P4.
     pub p4: ProcId,
+    /// `A_P1`: the rooted holder keeping the cycle alive until dropped.
     pub a: ObjId,
+    /// `F_P2`: the cycle's entry object on P2.
     pub f: ObjId,
     /// `B_P1 → F_P2`: the candidate scion lives at P2.
     pub r_bf: RefId,
@@ -107,19 +113,33 @@ pub fn fig3(sys: &mut System) -> Fig3 {
 /// `D ≙ r_td`, `ZB ≙ r_kzb`, `Y ≙ r_zby`.
 #[derive(Clone, Debug)]
 pub struct Fig4 {
+    /// The paper's P1.
     pub p1: ProcId,
+    /// The paper's P2.
     pub p2: ProcId,
+    /// The paper's P3.
     pub p3: ProcId,
+    /// The paper's P4.
     pub p4: ProcId,
+    /// The paper's P5.
     pub p5: ProcId,
+    /// The paper's P6.
     pub p6: ProcId,
+    /// `F`: the object shared by both cycles (their intersection point).
     pub f: ObjId,
+    /// `D → F`, closing the first cycle.
     pub r_df: RefId,
+    /// `F → V`, the first cycle's outbound edge.
     pub r_fv: RefId,
+    /// `F → K`, the second cycle's outbound edge.
     pub r_fk: RefId,
+    /// `W → T` inside the first cycle.
     pub r_wt: RefId,
+    /// `T → D` inside the first cycle.
     pub r_td: RefId,
+    /// `K → ZB` inside the second cycle.
     pub r_kzb: RefId,
+    /// `ZB → Y` inside the second cycle.
     pub r_zby: RefId,
 }
 
@@ -181,15 +201,21 @@ pub fn fig4(sys: &mut System) -> Fig4 {
 /// distinct holder process).
 #[derive(Clone, Debug)]
 pub struct Fig1 {
+    /// `X`: the cycle member every dependency converges on.
     pub x: ObjId,
+    /// `W`: the rooted outside holder pointing into the cycle.
     pub w: ObjId,
+    /// `X → Y` inside the cycle.
     pub r_xy: RefId,
+    /// `Y → Z` inside the cycle.
     pub r_yz: RefId,
+    /// `Z → X`, closing the cycle.
     pub r_zx: RefId,
     /// The extra converging dependency the detector must account for.
     pub r_wx: RefId,
 }
 
+/// Build Figure 1 in `sys` (needs ≥ 4 processes); see [`Fig1`].
 pub fn fig1(sys: &mut System) -> Fig1 {
     assert!(sys.num_procs() >= 4);
     let (p1, p2, p3, p4) = (ProcId(0), ProcId(1), ProcId(2), ProcId(3));
@@ -217,14 +243,21 @@ pub fn fig1(sys: &mut System) -> Fig1 {
 /// The mutator race of Fig. 2-b is scripted by the integration test.
 #[derive(Clone, Debug)]
 pub struct Fig2 {
+    /// `x_P1`, root-held on P1.
     pub x: ObjId,
+    /// `y_P2`.
     pub y: ObjId,
+    /// `z_P3`.
     pub z: ObjId,
+    /// `x → y`.
     pub r_xy: RefId,
+    /// `y → z`.
     pub r_yz: RefId,
+    /// `z → x`, closing the cycle.
     pub r_zx: RefId,
 }
 
+/// Build Figure 2 in `sys` (needs ≥ 3 processes); see [`Fig2`].
 pub fn fig2(sys: &mut System) -> Fig2 {
     assert!(sys.num_procs() >= 3);
     let (p1, p2, p3) = (ProcId(0), ProcId(1), ProcId(2));
@@ -254,22 +287,29 @@ pub fn fig2(sys: &mut System) -> Fig2 {
 /// Process indices here: P0≙P1, P1≙P2, P2≙P5, P3≙P4, P4≙P3.
 #[derive(Clone, Debug)]
 pub struct Fig5 {
+    /// `B_P1`: root-held entry into the chain, also holding `M3`.
     pub b: ObjId,
+    /// `F_P2`: target of the raced reference.
     pub f: ObjId,
     /// `J_P2`: downstream of `F` in P2; the object whose reference the
     /// mutator exports to P3.
     pub j: ObjId,
+    /// `M3_P3`: the rooted object that receives the exported reference.
     pub m3: ObjId,
     /// `F_P2`: the raced reference (stub at P1, scion at P2) whose
     /// invocation counters go `x → x+1`.
     pub r_bf: RefId,
+    /// `J_P2 → V_P5` along the invocation chain.
     pub r_jv: RefId,
+    /// `V_P5 → T_P4` along the invocation chain.
     pub r_vt: RefId,
+    /// `T_P4 → D_P1`, returning to P1.
     pub r_td: RefId,
     /// `B_P1 → M3_P3`: the mutator's channel to P3.
     pub r_bm3: RefId,
 }
 
+/// Build Figure 5 in `sys` (needs ≥ 5 processes); see [`Fig5`].
 pub fn fig5(sys: &mut System) -> Fig5 {
     assert!(sys.num_procs() >= 5);
     let (p1, p2, p5, p4, p3) = (ProcId(0), ProcId(1), ProcId(2), ProcId(3), ProcId(4));
@@ -312,7 +352,10 @@ pub fn fig5(sys: &mut System) -> Fig5 {
 /// head (a natural detection candidate).
 #[derive(Clone, Debug)]
 pub struct Ring {
+    /// Chain-head object of each participating process, in ring order.
     pub heads: Vec<ObjId>,
+    /// Inter-process references in ring order; `refs[0]` enters the first
+    /// process's chain head.
     pub refs: Vec<RefId>,
     /// Rooted anchor holding the ring alive, if requested.
     pub anchor: Option<ObjId>,
@@ -357,6 +400,7 @@ pub fn ring(sys: &mut System, procs: &[ProcId], objs_per_proc: usize, anchored: 
 /// Parameters for [`random_graph`].
 #[derive(Clone, Debug)]
 pub struct RandomGraphParams {
+    /// Objects allocated on each process.
     pub objects_per_proc: usize,
     /// Local edges per object (expected).
     pub local_degree: f64,

@@ -30,6 +30,7 @@ pub struct System {
     /// Verify every reclamation against the global reachability oracle.
     /// On by default; benches switch it off (it is O(heap) per LGC).
     pub check_safety: bool,
+    /// The merged protocol-counter ledger for the whole system.
     pub metrics: Metrics,
     /// Time-series telemetry (`GcConfig::sampling`): one global + one
     /// per-process bounded series, fed every `sample_every` GC rounds.
@@ -40,6 +41,10 @@ pub struct System {
 }
 
 impl System {
+    /// Build a system of `num_procs` processes over a fresh network.
+    ///
+    /// `seed` derives every per-process and network RNG, so two systems
+    /// built with the same arguments behave identically.
     pub fn new(num_procs: usize, cfg: GcConfig, net_cfg: NetConfig, seed: u64) -> Self {
         assert!(num_procs >= 1 && num_procs <= u16::MAX as usize);
         let mut procs: Vec<Process> = (0..num_procs)
@@ -67,34 +72,42 @@ impl System {
 
     // --- accessors -----------------------------------------------------------
 
+    /// Current simulated time.
     pub fn clock(&self) -> SimTime {
         self.clock
     }
 
+    /// The GC configuration the system was built with.
     pub fn config(&self) -> &GcConfig {
         &self.cfg
     }
 
+    /// Mutable access to the GC configuration (tests retune mid-run).
     pub fn config_mut(&mut self) -> &mut GcConfig {
         &mut self.cfg
     }
 
+    /// Number of processes.
     pub fn num_procs(&self) -> usize {
         self.procs.len()
     }
 
+    /// All processes, indexed by `ProcId`.
     pub fn procs(&self) -> &[Process] {
         &self.procs
     }
 
+    /// The process with id `p`.
     pub fn proc(&self, p: ProcId) -> &Process {
         &self.procs[p.index()]
     }
 
+    /// Mutable access to the process with id `p`.
     pub fn proc_mut(&mut self, p: ProcId) -> &mut Process {
         &mut self.procs[p.index()]
     }
 
+    /// Delivery/loss/duplication counters from the simulated network.
     pub fn net_stats(&self) -> NetStats {
         self.net.stats()
     }
@@ -154,6 +167,7 @@ impl System {
         self.net.heal_all();
     }
 
+    /// Messages currently queued in the simulated network.
     pub fn messages_in_flight(&self) -> usize {
         self.net.in_flight()
     }
@@ -175,18 +189,22 @@ impl System {
 
     // --- mutator API -----------------------------------------------------------
 
+    /// Allocate a new (unrooted) object of `payload_words` on process `p`.
     pub fn alloc(&mut self, p: ProcId, payload_words: u32) -> ObjId {
         self.procs[p.index()].heap.alloc(payload_words)
     }
 
+    /// Make `obj` a GC root of its owning process.
     pub fn add_root(&mut self, obj: ObjId) -> Result<(), ModelError> {
         self.procs[obj.proc.index()].heap.add_root(obj)
     }
 
+    /// Unroot `obj`; returns whether it was rooted.
     pub fn remove_root(&mut self, obj: ObjId) -> Result<bool, ModelError> {
         self.procs[obj.proc.index()].heap.remove_root(obj)
     }
 
+    /// Add an intra-process reference `from → to` (same process only).
     pub fn add_local_ref(&mut self, from: ObjId, to: ObjId) -> Result<(), ModelError> {
         if from.proc != to.proc {
             return Err(ModelError::UnknownProcess(to.proc));
@@ -196,6 +214,7 @@ impl System {
             .add_ref(from, HeapRef::Local(to.slot))
     }
 
+    /// Remove a previously added intra-process reference `from → to`.
     pub fn remove_local_ref(&mut self, from: ObjId, to: ObjId) -> Result<(), ModelError> {
         self.procs[from.proc.index()]
             .heap
@@ -254,9 +273,21 @@ impl System {
             }
             (Some(r), None) => {
                 self.procs[holder.index()].tables.pardon_stub(r);
+                let stub_ic = self.procs[holder.index()]
+                    .tables
+                    .stub(r)
+                    .expect("probed above")
+                    .ic;
                 self.procs[target.proc.index()]
                     .tables
                     .add_scion(r, target, holder, now);
+                // The re-created half adopts the survivor's invocation
+                // counter: nothing is in flight at repair time, and a
+                // counter split would permanently veto CDMs over the pair.
+                self.procs[target.proc.index()]
+                    .tables
+                    .sync_scion_ic(r, stub_ic)
+                    .expect("scion just added");
                 r
             }
             (None, Some(r)) => {
@@ -269,7 +300,17 @@ impl System {
                         self.clock
                     );
                 }
+                let scion_ic = self.procs[target.proc.index()]
+                    .tables
+                    .scion(r)
+                    .expect("probed above")
+                    .ic;
                 self.procs[holder.index()].tables.add_stub(r, target, now);
+                // Adopt the scion's counter (see the mirror case above).
+                self.procs[holder.index()]
+                    .tables
+                    .sync_stub_ic(r, scion_ic)
+                    .expect("stub just added");
                 self.procs[target.proc.index()].tables.refresh_scion(r, now);
                 r
             }
@@ -512,9 +553,9 @@ impl System {
     }
 
     /// Run one local collection at *every* process. The compute stage
-    /// ([`lgc_compute`]) touches only process-local state, so with
+    /// (`lgc_compute`) touches only process-local state, so with
     /// `parallel_gc_phases` it fans out across threads; the apply stage
-    /// ([`Self::lgc_apply`]) consumes shared state (metrics ledgers, the
+    /// (`Self::lgc_apply`) consumes shared state (metrics ledgers, the
     /// seeded network RNG) and runs sequentially in process-index order —
     /// the exact order the sequential path produces, so simulation results
     /// and metrics are bit-identical with parallelism on or off.
@@ -771,6 +812,10 @@ impl System {
                 out: list,
                 branches_pruned_local,
                 branches_no_new_info,
+                // Starvation feeds the credit scheme, which only the
+                // threaded runtime runs (the sequential walk needs no
+                // termination detection — it never races a mutator).
+                branches_starved: _,
             } => {
                 self.bump(p, |m| {
                     m.branches_pruned_local += u64::from(branches_pruned_local);
@@ -831,11 +876,15 @@ impl System {
                         scions: delete.len() as u32,
                     },
                 );
-                for (owner, scion, incarnation) in delete {
+                for (owner, scion, incarnation, ic) in delete {
                     if owner == p {
-                        self.delete_proven_scion(p, scion, incarnation);
+                        self.delete_proven_scion(p, scion, incarnation, ic);
                     } else {
-                        let msg = SysMessage::DeleteScion { scion, incarnation };
+                        let msg = SysMessage::DeleteScion {
+                            scion,
+                            incarnation,
+                            ic,
+                        };
                         let size = msg.size_bytes();
                         let lc = self.procs[p.index()].obs.clock_value();
                         self.net
@@ -978,8 +1027,12 @@ impl System {
                 self.handle_outcome(dst, id, hop, outcome);
                 self.procs[dst.index()].obs.lap(Phase::CdmHandling, sw);
             }
-            SysMessage::DeleteScion { scion, incarnation } => {
-                self.delete_proven_scion(dst, scion, incarnation);
+            SysMessage::DeleteScion {
+                scion,
+                incarnation,
+                ic,
+            } => {
+                self.delete_proven_scion(dst, scion, incarnation, ic);
             }
         }
     }
@@ -988,14 +1041,20 @@ impl System {
     /// unless an invocation/import is in flight (pinned — with the counter
     /// barrier on, a verdict over an active reference cannot happen; the
     /// pin guard keeps even the unsafe ablations structurally sound).
-    fn delete_proven_scion(&mut self, p: ProcId, scion: RefId, incarnation: u32) {
+    fn delete_proven_scion(&mut self, p: ProcId, scion: RefId, incarnation: u32, ic: u64) {
         // ABA guard: the verdict proved a specific incarnation garbage; a
         // newer incarnation under the same id is a different, possibly
-        // live reference.
+        // live reference. Lazy IC barrier: the verdict also witnessed a
+        // specific invocation counter — a counter that has moved since
+        // means the mutator used (re-exported or invoked through) the
+        // reference after the walk, so the verdict is stale. The counter
+        // re-check is part of the barrier, so the A1 ablation disables it
+        // too (and stays demonstrably unsafe).
+        let barrier = self.cfg.ic_barrier;
         if self.procs[p.index()]
             .tables
             .scion(scion)
-            .is_none_or(|s| s.incarnation != incarnation)
+            .is_none_or(|s| s.incarnation != incarnation || (barrier && s.ic != ic))
         {
             return;
         }
@@ -1152,6 +1211,7 @@ impl System {
         self.clock = self.clock.max(t);
     }
 
+    /// Run the event loop for `d` of simulated time from now.
     pub fn run_for(&mut self, d: SimDuration) {
         let t = self.clock + d;
         self.run_until(t);
@@ -1336,7 +1396,7 @@ impl System {
 }
 
 /// Everything one local collection produces *before* any shared state is
-/// touched: [`lgc_compute`] fills it (possibly on a worker thread),
+/// touched: `lgc_compute` fills it (possibly on a worker thread),
 /// [`System::lgc_apply`] drains it on the simulation thread.
 struct LgcWork {
     /// Objects reclaimed by the sweep.

@@ -5,9 +5,14 @@
 //! asynchrony claim under *real* concurrency: each process runs its own
 //! LGC / snapshot / scan loop on its own thread, exchanging messages over
 //! crossbeam channels, with no shared clock and no coordination beyond the
-//! messages themselves. The mutator is quiescent during the run (the
-//! topology is built up front), mirroring the paper's observation that
-//! detection is lazy, off-line work.
+//! messages themselves. When [`acdgc_model::MutatorConfig`] is enabled,
+//! seeded **mutator threads** run *while* the collectors sweep —
+//! allocating, exporting references, invoking through them, and dropping
+//! them — through the same per-process locks the workers use, so every
+//! interleaving the locks admit is a real execution (see *Concurrent
+//! mutation* below). With the mutator disabled the topology is fixed up
+//! front, mirroring the paper's observation that detection is lazy,
+//! off-line work.
 //!
 //! # Termination: distributed quiescence votes
 //!
@@ -24,7 +29,7 @@
 //!   (`fetch_sub`) before processing it and resumes sweeping;
 //! * the run stops when all votes are simultaneously held **and** the
 //!   global enqueue/drain counters balance **and** no rescind raced the
-//!   check — see [`Quiescence::globally_quiet`] for why that conjunction
+//!   check — see `Quiescence::globally_quiet` for why that conjunction
 //!   cannot observe a message still in flight.
 //!
 //! # Fault model
@@ -41,28 +46,65 @@
 //! are retried until acknowledged, because a final NSS that never lands
 //! would leak acyclic garbage the cycle detector cannot see.
 //!
-//! Cross-process scion pin/unpin — the simulator's substituted SSP
-//! handshake — is not needed here because no references are exported while
-//! the threads run.
+//! # Concurrent mutation
+//!
+//! Mutator threads partition the processes round-robin and only ever hold
+//! objects on (and export between) their own processes, so two mutator
+//! threads never touch the same stub/scion table; every mutator-vs-
+//! collector race is mediated by the per-process lock. Three disciplines
+//! keep the races safe and observable:
+//!
+//! * **pin/unpin handshake** — exporting a fresh reference creates the
+//!   scion *pinned* before the importer materializes its stub (the
+//!   paper's in-flight-reference problem, made real: between those steps
+//!   a `NewSetStubs` built without the new stub may arrive, and only the
+//!   pin stops it deleting the scion). Unpinning refreshes the scion's
+//!   creation horizon so a live set saved during the window can never be
+//!   re-applied against it later. Invocations likewise pin the target
+//!   scion across the callee-side window so a cycle verdict cannot
+//!   delete a reference mid-call.
+//! * **deferred NSS re-judgement** — a scion that survived a live set
+//!   only because it was pinned would leak (a content-settled set is
+//!   never resent); each sweep re-applies the saved per-sender sets via
+//!   `RemotingTables::sweep_deferred_nss`.
+//! * **mutation-aware quiescence** — every applied op bumps a shared
+//!   `mutation_events` counter; a worker that observes a new count
+//!   rescinds any held vote and resets its quiet streak, and
+//!   `Quiescence::globally_quiet` additionally requires all mutators
+//!   exited and every worker to have observed the final count. Quiescence
+//!   therefore means "mutator drained AND collectors quiet".
+//!
+//! Every op is appended to a [`MutOp`] log while the owning process lock
+//! is held; tests replay it over a [`crate::ShadowGraph`] of the pre-run
+//! heaps to recompute ground-truth liveness (no live object deleted, all
+//! garbage eventually collected) for runs whose oracle cannot be computed
+//! up front. Mutator ops trace as [`Event::MutatorOp`] with Lamport
+//! stamps into the owning worker's pending tail, so `--critical-path`
+//! waterfalls show collector-vs-mutator interference.
 
 use crate::metrics::Metrics;
+use crate::oracle::MutOp;
 use crate::process::Process;
 use acdgc_dcda::{Cdm, Outcome, TerminateReason};
-use acdgc_heap::lgc;
+use acdgc_heap::{lgc, HeapRef};
 use acdgc_model::rng::component_rng;
 use acdgc_model::{
-    DetectionId, GcConfig, IntegrationMode, NetConfig, ProcId, RefId, SimTime, WatchdogConfig,
+    DetectionId, GcConfig, IntegrationMode, MutatorConfig, NetConfig, ObjId, ProcId, RefId,
+    SimTime, WatchdogConfig,
 };
 use acdgc_obs::health::{
     HealthReason, HealthReport, Heartbeat, Heartbeats, WorkerHealth, WorkerStage,
 };
-use acdgc_obs::{DropReason, Event, LamportClock, Phase, Sample, Sampler, TermReason};
+use acdgc_obs::{
+    DropReason, Event, LamportClock, MutatorOpKind, Phase, Sample, Sampler, TermReason,
+};
 use acdgc_remoting::{apply_new_set_stubs_observed, build_new_set_stubs, NewSetStubs};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::Rng;
-use rustc_hash::FxHashMap;
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -82,7 +124,24 @@ enum ThreadMsg {
         via: RefId,
         cdm: Cdm,
     },
-    DeleteScion(RefId, u32),
+    /// Cycle-verdict deletion: (scion, witnessed incarnation, witnessed
+    /// invocation counter) — both re-checked at the owner before removal.
+    DeleteScion(RefId, u32, u64),
+    /// Weight-throwing echo: a terminal CDM outcome at a remote process
+    /// returns the credit the dying derivation carried to the detection's
+    /// initiator. `clean` is true only for outcomes that *prove* the
+    /// walked structure live (no remote stubs / all stubs locally
+    /// reachable); once the initiator has recovered [`FULL_CREDIT`]
+    /// (all-clean, and no mutation raced the walk) it records a lazy
+    /// liveness verdict and stops re-picking that scion until the next
+    /// mutation epoch — without this, a live-but-not-locally-rooted
+    /// structure is re-initiated after every backoff forever and the run
+    /// can never vote itself quiescent.
+    DetectionCredit {
+        id: DetectionId,
+        credit: u64,
+        clean: bool,
+    },
 }
 
 /// What actually travels on a channel: the message plus the sender's
@@ -92,17 +151,32 @@ enum ThreadMsg {
 #[derive(Clone)]
 struct ThreadEnvelope {
     lamport: u64,
+    /// Receiver-side dedup tag, unique per *logical* send (injected
+    /// duplicate copies share the sender's tag; zero means "untagged,
+    /// never deduped"). Only CDM and credit traffic is tagged: a
+    /// duplicated CDM would double the credit a branch carries, and a
+    /// duplicated echo would double what the initiator recovers — either
+    /// forgery could combine with a drop elsewhere to fake a full-credit
+    /// all-clean recovery and suppress a *garbage* scion (a leak). NSS,
+    /// acks, and scion deletes are already idempotent by construction.
+    tag: u64,
     msg: ThreadMsg,
 }
 
 /// Counters shared across the threads.
 #[derive(Debug, Default)]
 pub struct ThreadedStats {
+    /// Local mark-sweep collections run across all workers.
     pub lgc_runs: AtomicU64,
+    /// Graph summarizations published.
     pub snapshots: AtomicU64,
+    /// CDM messages handed to peer inboxes (pre-fault-injection).
     pub cdms_sent: AtomicU64,
+    /// Distributed cycles found (one per matched CDM, before deletion).
     pub cycles_detected: AtomicU64,
+    /// Scions deleted on a cycle verdict.
     pub scions_deleted: AtomicU64,
+    /// Objects reclaimed by LGC over the whole run.
     pub objects_reclaimed: AtomicU64,
     /// GC messages lost per kind: injected by the seeded fault model, or
     /// dropped because a peer's bounded inbox was full (or the peer was
@@ -111,8 +185,11 @@ pub struct ThreadedStats {
     /// tolerates arbitrary GC-message loss, so drops only delay
     /// reclamation.
     pub nss_dropped: AtomicU64,
+    /// CDM and credit-echo messages lost (see [`ThreadedStats::nss_dropped`]).
     pub cdms_dropped: AtomicU64,
+    /// `DeleteScion` messages lost (see [`ThreadedStats::nss_dropped`]).
     pub deletes_dropped: AtomicU64,
+    /// NSS acks lost (see [`ThreadedStats::nss_dropped`]).
     pub acks_dropped: AtomicU64,
     /// Losses charged to the seeded injector specifically (also counted in
     /// the per-kind counters above).
@@ -124,10 +201,22 @@ pub struct ThreadedStats {
     pub nss_retries: AtomicU64,
     /// Quiescence votes cast / rescinded across the run.
     pub votes_cast: AtomicU64,
+    /// Votes withdrawn on new receive or mutation activity.
     pub votes_rescinded: AtomicU64,
     /// 1 if the run ended because every worker held its quiescence vote
     /// with all channels provably empty; 0 if the deadline backstop fired.
     pub stopped_by_quiescence: AtomicU64,
+    /// Concurrent-mutator operations applied (all kinds; skips excluded).
+    pub mutator_ops: AtomicU64,
+    /// Mutator ops abandoned because a precondition failed under the lock
+    /// (e.g. a stale edge whose stub a collector already removed). Bounded
+    /// interference, not an error.
+    pub mutator_skips: AtomicU64,
+    /// Invocations that found their target scion missing although the
+    /// holder-side stub was just observed live. The mutator only invokes
+    /// along live-holder edges, so any nonzero value means a collector
+    /// deleted a reference that was still reachable — a safety violation.
+    pub mutator_missing_scions: AtomicU64,
 }
 
 impl ThreadedStats {
@@ -158,10 +247,22 @@ struct Quiescence {
     /// *after* the stop flag is raised, and that tail-end stall is exactly
     /// the one worth reporting.
     workers_done: AtomicU64,
+    /// Mutator threads spawned for this run (0 when the mutator is off).
+    mutators: u64,
+    /// Mutator threads that have finished their op budget and exited.
+    mutators_done: AtomicU64,
+    /// Applied mutator ops (monotone); bumped *after* the op's process
+    /// lock is released, so a worker that reads value `m` and then sweeps
+    /// observes heap state including at least the first `m` ops.
+    mutation_events: AtomicU64,
+    /// Per-worker: the `mutation_events` value that worker last folded
+    /// into its quiet-streak accounting. A vote is only trustworthy if it
+    /// was cast after observing the final mutation count.
+    mutation_seen: Vec<AtomicU64>,
 }
 
 impl Quiescence {
-    fn new(workers: u64) -> Self {
+    fn new(workers: u64, mutators: u64) -> Self {
         Quiescence {
             workers,
             votes: AtomicU64::new(0),
@@ -170,6 +271,10 @@ impl Quiescence {
             drained: AtomicU64::new(0),
             stop: AtomicBool::new(false),
             workers_done: AtomicU64::new(0),
+            mutators,
+            mutators_done: AtomicU64::new(0),
+            mutation_events: AtomicU64::new(0),
+            mutation_seen: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -192,9 +297,33 @@ impl Quiescence {
     ///    suppressed while voted, unvoting requires a receive, and the
     ///    root of any receive chain is a message that already fails 1
     ///    or 2.
+    ///
+    /// With a live mutator, two more conjuncts make quiescence mean
+    /// "mutator drained AND collectors quiet":
+    ///
+    /// 4. `mutators_done == mutators` is read *first*; every mutator bumps
+    ///    `mutation_events` before incrementing `mutators_done`, so once
+    ///    all mutators are done the count read in `m` is final (the
+    ///    re-read at the end is cheap insurance).
+    /// 5. `mutation_seen[i] == m` for every worker: a worker stores its
+    ///    seen-count *before* rebuilding the quiet streak that leads to a
+    ///    vote (and rescinds first if it was holding one), so all votes
+    ///    standing at both `votes` reads were cast after sweeping the
+    ///    post-final-mutation heap state.
     fn globally_quiet(&self) -> bool {
+        if self.mutators_done.load(Ordering::SeqCst) != self.mutators {
+            return false;
+        }
         let r1 = self.rescinds.load(Ordering::SeqCst);
         if self.votes.load(Ordering::SeqCst) != self.workers {
+            return false;
+        }
+        let m = self.mutation_events.load(Ordering::SeqCst);
+        if self
+            .mutation_seen
+            .iter()
+            .any(|s| s.load(Ordering::SeqCst) != m)
+        {
             return false;
         }
         let e = self.enqueued.load(Ordering::SeqCst);
@@ -202,6 +331,7 @@ impl Quiescence {
         e == d
             && self.rescinds.load(Ordering::SeqCst) == r1
             && self.votes.load(Ordering::SeqCst) == self.workers
+            && self.mutation_events.load(Ordering::SeqCst) == m
     }
 }
 
@@ -273,7 +403,9 @@ pub struct ThreadedOptions {
     pub seed: u64,
     /// Wall-clock backstop if quiescence is never reached.
     pub deadline: Duration,
+    /// Called after every worker sweep (stress tests inject chaos here).
     pub sweep_hook: Option<SweepHook>,
+    /// Receives every watchdog [`HealthReport`] as it is emitted.
     pub on_report: Option<ReportHook>,
 }
 
@@ -300,10 +432,19 @@ impl Default for ThreadedOptions {
 /// the monitor thread recorded during healthy operation (empty unless
 /// `cfg.sampling.enabled`), ready for `Trace::with_samples`.
 pub struct ThreadedRun {
+    /// The final processes, unwrapped from their mutex cells.
     pub procs: Vec<Process>,
+    /// Legacy shared counters (see [`ThreadedStats`]).
     pub stats: Arc<ThreadedStats>,
+    /// Watchdog reports in emission order (empty unless enabled).
     pub health: Vec<HealthReport>,
+    /// Telemetry samples recorded by the monitor thread.
     pub samples: Vec<(Sample, usize)>,
+    /// Every graph edit the concurrent mutator applied, in a linearization
+    /// consistent with each process's lock order. Replay it over a
+    /// [`crate::ShadowGraph`] of the pre-run heaps to recompute ground
+    /// truth liveness. Empty when the mutator is disabled.
+    pub mutation_log: Vec<MutOp>,
 }
 
 /// The full-fidelity entry point: [`run_concurrent_collection_with_faults`]
@@ -326,8 +467,31 @@ pub fn run_concurrent_collection_observed(
     let mut procs = procs;
     let n = procs.len();
     let stats = Arc::new(ThreadedStats::default());
-    let quiescence = Arc::new(Quiescence::new(n as u64));
+    let mutator_threads = if cfg.mutator.enabled {
+        cfg.mutator.threads.min(n)
+    } else {
+        0
+    };
+    let quiescence = Arc::new(Quiescence::new(n as u64, mutator_threads as u64));
     let detection_ids = Arc::new(AtomicU64::new(0));
+    // Tag 0 means "untagged"; start at 1 so every assigned tag dedupes.
+    let msg_tags = Arc::new(AtomicU64::new(1));
+
+    // Fresh reference ids for mutator exports start far above anything the
+    // pre-built topology used (including deleted ids with incarnation
+    // tombstones), so a mutator-created pair can never collide with a
+    // stale `DeleteScion` or saved live set naming an old id.
+    let mut max_ref = 0u64;
+    for p in &procs {
+        for s in p.tables.stubs() {
+            max_ref = max_ref.max(s.ref_id.0);
+        }
+        for s in p.tables.scions() {
+            max_ref = max_ref.max(s.ref_id.0);
+        }
+    }
+    let ref_ids = Arc::new(AtomicU64::new((1u64 << 48) | (max_ref + 1)));
+    let mutation_log: Arc<Mutex<Vec<MutOp>>> = Arc::new(Mutex::new(Vec::new()));
 
     // (Re)arm tracing per this run's config and link every process to one
     // shared sequence counter (seeded past any events recorded while the
@@ -393,10 +557,39 @@ pub fn run_concurrent_collection_observed(
             round: 0,
             voted: false,
             quiet_streak: 0,
+            last_mutation_seen: 0,
+            msg_tags: Arc::clone(&msg_tags),
+            outstanding: FxHashMap::default(),
+            seen_tags: FxHashSet::default(),
+            seen_order: VecDeque::new(),
         };
         handles.push(thread::spawn(move || {
             worker(ctx, cell, rx, start, deadline)
         }));
+    }
+
+    // Mutator threads: partition the processes round-robin so no two
+    // mutators ever touch the same process (see module docs), and race the
+    // collector workers through the same per-process locks.
+    let mut mutator_handles = Vec::with_capacity(mutator_threads);
+    for k in 0..mutator_threads {
+        let mctx = MutatorCtx {
+            my_procs: (0..n).filter(|i| i % mutator_threads == k).collect(),
+            cells: cells.clone(),
+            tails: tails.clone(),
+            clocks: clocks.clone(),
+            trace_on: cfg.trace.enabled,
+            lamport_on,
+            mcfg: cfg.mutator,
+            rng: component_rng(seed, &format!("mutator-{k}")),
+            ref_ids: Arc::clone(&ref_ids),
+            log: Arc::clone(&mutation_log),
+            stats: Arc::clone(&stats),
+            quiescence: Arc::clone(&quiescence),
+            owned: Vec::new(),
+            edges: Vec::new(),
+        };
+        mutator_handles.push(thread::spawn(move || mutator(mctx, start, deadline)));
     }
 
     // One monitor thread serves both observability duties: watchdog stall
@@ -420,6 +613,9 @@ pub fn run_concurrent_collection_observed(
         thread::spawn(move || monitor(mctx))
     });
 
+    for h in mutator_handles {
+        h.join().expect("mutator thread panicked");
+    }
     for h in handles {
         h.join().expect("worker thread panicked");
     }
@@ -454,11 +650,13 @@ pub fn run_concurrent_collection_observed(
         .collect();
     let health = std::mem::take(&mut *reports.lock());
     let samples = sampler.lock().export();
+    let mutation_log = std::mem::take(&mut *mutation_log.lock());
     ThreadedRun {
         procs,
         stats,
         health,
         samples,
+        mutation_log,
     }
 }
 
@@ -617,6 +815,7 @@ impl SamplingState {
             cycles_detected: ctx.stats.cycles_detected.load(Ordering::Relaxed),
             objects_reclaimed: ctx.stats.objects_reclaimed.load(Ordering::Relaxed),
             scions_reclaimed: ctx.stats.scions_deleted.load(Ordering::Relaxed),
+            mutator_ops: ctx.stats.mutator_ops.load(Ordering::Relaxed),
             ..Sample::default()
         };
         let per_proc: Vec<Sample> = beats
@@ -636,6 +835,8 @@ impl SamplingState {
                         objects_reclaimed: p.metrics.objects_reclaimed,
                         scions_reclaimed: p.metrics.scions_reclaimed_acyclic
                             + p.metrics.scions_deleted_by_dcda,
+                        pinned_scions: p.tables.pinned_scion_count() as u64,
+                        mutator_ops: p.metrics.mutator_ops(),
                         ..Sample::default()
                     },
                     None => *prev,
@@ -655,6 +856,7 @@ impl SamplingState {
             global.candidates += s.candidates;
             global.max_backoff_attempt = global.max_backoff_attempt.max(s.max_backoff_attempt);
             global.inbox_depth += s.inbox_depth;
+            global.pinned_scions += s.pinned_scions;
         }
         ctx.sampler.lock().record(global, &per_proc);
     }
@@ -763,7 +965,49 @@ struct WorkerCtx {
     round: u64,
     voted: bool,
     quiet_streak: u32,
+    /// The `Quiescence::mutation_events` value this worker has already
+    /// folded into its quiet-streak accounting (mirrored into
+    /// `Quiescence::mutation_seen` for the global check).
+    last_mutation_seen: u64,
+    /// Shared allocator for [`ThreadEnvelope::tag`] dedup tags; one
+    /// counter across all workers so tags are globally unique.
+    msg_tags: Arc<AtomicU64>,
+    /// Detections this worker initiated whose credit has not fully come
+    /// home: id → (scion walked, mutation epoch at initiation, credit
+    /// still outstanding, whether every echo so far was clean).
+    outstanding: FxHashMap<DetectionId, Outstanding>,
+    /// Receiver-side dedup window over [`ThreadEnvelope::tag`]: a tag in
+    /// the set has been processed; `seen_order` evicts oldest-first so
+    /// the window stays bounded (duplicates arrive close behind their
+    /// originals — the channel is bounded — so a small window suffices).
+    seen_tags: FxHashSet<u64>,
+    seen_order: VecDeque<u64>,
 }
+
+/// Weight-throwing ledger entry for one initiated detection (see
+/// [`ThreadMsg::DetectionCredit`]).
+struct Outstanding {
+    /// The candidate scion the detection walked from.
+    scion: RefId,
+    /// `Quiescence::mutation_events` as of initiation; a verdict is
+    /// applied only if the count is unchanged when the last credit lands
+    /// (and re-checked against the candidate table's own epoch), since a
+    /// racing mutation can invalidate what the walk observed.
+    epoch: u64,
+    /// Credit not yet returned; starts at [`acdgc_dcda::FULL_CREDIT`].
+    credit: u64,
+    /// AND of every echo's `clean` flag: true only while *all* settled
+    /// branches proved liveness (rather than dying to a fault, budget,
+    /// hop cap, IC mismatch, or a no-new-information prune).
+    clean: bool,
+}
+
+/// Cap on the dedup window (tags remembered per worker).
+const SEEN_TAG_WINDOW: usize = 8192;
+/// Cap on the outstanding-detection ledger; beyond this the oldest
+/// (smallest-id) entries are forgotten, which only loses a potential
+/// suppression — the candidate simply retries after its backoff.
+const OUTSTANDING_CAP: usize = 1024;
 
 /// How a drained message should be handled.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -784,6 +1028,11 @@ enum MsgKind {
     Ack,
     Cdm,
     Delete,
+    /// Credit echo ([`ThreadMsg::DetectionCredit`]). Losses are charged
+    /// to the CDM drop counter: an echo is part of the detection walk,
+    /// and a lost echo degrades exactly like a lost CDM (the initiator
+    /// never recovers full credit and the candidate retries later).
+    Credit,
 }
 
 impl WorkerCtx {
@@ -801,14 +1050,19 @@ impl WorkerCtx {
         if self.trace_on {
             let at = self.now();
             // Stamp now, not at flush: the tail may sit across several
-            // sweeps, and a late flush must not reorder the clock.
-            let lc = if self.lamport_on {
-                self.clock.tick()
-            } else {
-                0
-            };
+            // sweeps, and a late flush must not reorder the clock. Tick
+            // *inside* the tail lock: the mutator pushes into this same
+            // tail (ticking the same clock, also under the tail lock), so
+            // tick-then-lock could interleave as tick(5) / mutator
+            // tick(6)+push / push(5) — descending stamps in tail order,
+            // which a flush would turn into a causal-order violation.
             let len = {
                 let mut tail = self.tail.lock();
+                let lc = if self.lamport_on {
+                    self.clock.tick()
+                } else {
+                    0
+                };
                 tail.push((at, lc, event));
                 tail.len()
             };
@@ -841,7 +1095,7 @@ impl WorkerCtx {
         match kind {
             MsgKind::Nss => &self.stats.nss_dropped,
             MsgKind::Ack => &self.stats.acks_dropped,
-            MsgKind::Cdm => &self.stats.cdms_dropped,
+            MsgKind::Cdm | MsgKind::Credit => &self.stats.cdms_dropped,
             MsgKind::Delete => &self.stats.deletes_dropped,
         }
     }
@@ -853,9 +1107,25 @@ impl WorkerCtx {
         match kind {
             MsgKind::Nss => self.local.nss_dropped += 1,
             MsgKind::Ack => self.local.acks_dropped += 1,
-            MsgKind::Cdm => self.local.cdms_dropped += 1,
+            MsgKind::Cdm | MsgKind::Credit => self.local.cdms_dropped += 1,
             MsgKind::Delete => self.local.deletes_dropped += 1,
         }
+    }
+
+    /// Record a dedup tag; returns false if it was already seen (the
+    /// message is an injected duplicate and must be discarded). The
+    /// window is bounded by [`SEEN_TAG_WINDOW`], evicting oldest-first.
+    fn note_tag(&mut self, tag: u64) -> bool {
+        if !self.seen_tags.insert(tag) {
+            return false;
+        }
+        self.seen_order.push_back(tag);
+        if self.seen_order.len() > SEEN_TAG_WINDOW {
+            if let Some(old) = self.seen_order.pop_front() {
+                self.seen_tags.remove(&old);
+            }
+        }
+        true
     }
 
     /// Send through the seeded fault injector; a full (or disconnected)
@@ -891,9 +1161,17 @@ impl WorkerCtx {
         } else {
             0
         };
+        // One tag per *logical* send, allocated before the copies loop so
+        // an injected duplicate shares it and the receiver keeps exactly
+        // one — credit must not be forgeable by the fault injector.
+        let tag = match kind {
+            MsgKind::Cdm | MsgKind::Credit => self.msg_tags.fetch_add(1, Ordering::Relaxed),
+            _ => 0,
+        };
         for _ in 0..copies {
             let env = ThreadEnvelope {
                 lamport,
+                tag,
                 msg: msg.clone(),
             };
             if self.txs[dest.index()].try_send(env).is_ok() {
@@ -940,6 +1218,13 @@ impl WorkerCtx {
             self.quiescence.drained.fetch_add(1, Ordering::SeqCst);
             self.hb.slot(self.me.index()).note_drain();
             drained += 1;
+            // Dedup strictly AFTER the drained ledger update: quiescence
+            // compares enqueued vs drained totals, and a skipped-but-
+            // enqueued duplicate would otherwise hold the run open forever.
+            if env.tag != 0 && !self.note_tag(env.tag) {
+                self.local.cdms_deduped += 1;
+                continue;
+            }
             let now = self.now();
             match msg {
                 ThreadMsg::Nss(nss) => {
@@ -989,6 +1274,8 @@ impl WorkerCtx {
                         // This processing step's hop depth (deliver
                         // increments the wire value before expanding).
                         let hop = cdm.hops + 1;
+                        let initiator = cdm.initiator;
+                        let credit = cdm.credit;
                         let delivered = Event::CdmDelivered {
                             id,
                             via,
@@ -1004,14 +1291,36 @@ impl WorkerCtx {
                         p.obs.record(now, delivered);
                         let sw = p.obs.stopwatch();
                         let outcome = acdgc_dcda::deliver(&p.summary, cdm, via, &self.cfg);
-                        self.handle_outcome(p, id, hop, outcome);
+                        self.handle_outcome(p, id, hop, initiator, credit, outcome);
                         p.obs.lap(Phase::CdmHandling, sw);
                     }
                 }
-                ThreadMsg::DeleteScion(r, inc) => {
+                ThreadMsg::DetectionCredit { id, credit, clean } => {
+                    if mode == DrainMode::Final {
+                        // Like a late CDM: no walk remains to settle.
+                        self.stats.cdms_dropped.fetch_add(1, Ordering::Relaxed);
+                        self.local.cdms_dropped += 1;
+                    } else {
+                        let mut guard = cell.lock();
+                        let p = &mut *guard;
+                        self.flush_into(p);
+                        self.apply_credit(p, id, credit, clean);
+                    }
+                }
+                ThreadMsg::DeleteScion(r, inc, ic) => {
+                    let barrier = self.cfg.ic_barrier;
                     let mut guard = cell.lock();
                     self.flush_into(&mut guard);
-                    delete_scion(&mut guard, r, inc, now, &self.stats, &mut self.local);
+                    delete_scion(
+                        &mut guard,
+                        r,
+                        inc,
+                        ic,
+                        barrier,
+                        now,
+                        &self.stats,
+                        &mut self.local,
+                    );
                 }
             }
         }
@@ -1022,17 +1331,40 @@ impl WorkerCtx {
     /// into both ledgers ([`ThreadedStats`] for back-compat, the local
     /// [`Metrics`] mirror for parity with the sequential runtime) and
     /// records the same lifecycle events the sequential
-    /// `System::handle_outcome` does.
-    fn handle_outcome(&mut self, p: &mut Process, id: DetectionId, hop: u32, outcome: Outcome) {
+    /// `System::handle_outcome` does. `initiator` and `credit` are the
+    /// values the just-expanded CDM carried on the wire; every terminal
+    /// outcome echoes that credit home (see
+    /// [`ThreadMsg::DetectionCredit`]), with `clean = true` only for the
+    /// two outcomes that *prove* the walked structure live.
+    fn handle_outcome(
+        &mut self,
+        p: &mut Process,
+        id: DetectionId,
+        hop: u32,
+        initiator: ProcId,
+        credit: u64,
+        outcome: Outcome,
+    ) {
         let now = self.now();
         match outcome {
             Outcome::Forwarded {
                 out: list,
                 branches_pruned_local,
                 branches_no_new_info,
+                branches_starved,
             } => {
                 self.local.branches_pruned_local += u64::from(branches_pruned_local);
                 self.local.branches_no_new_info += u64::from(branches_no_new_info);
+                // The forwarded branches carry the credit onward; nothing
+                // settles here. Slack-pruned branches are harmless (their
+                // pairs were already in the algebra, so an ancestor walked
+                // past them), but a budget-starved branch carried *new*
+                // territory that was cut unexplored — mark the walk
+                // incomplete with a zero-credit unclean echo (credit
+                // itself is conserved in the survivors).
+                if branches_starved > 0 {
+                    self.settle_credit(p, id, initiator, 0, false);
+                }
                 p.obs.record(
                     now,
                     Event::CdmForwarded {
@@ -1073,6 +1405,11 @@ impl WorkerCtx {
                 }
             }
             Outcome::CycleFound { delete } => {
+                // The derivation dies here (credit must go home), but a
+                // cycle verdict is the opposite of a liveness proof:
+                // unclean, so a concurrent sibling branch can never
+                // launder it into a "proven live" suppression.
+                self.settle_credit(p, id, initiator, credit, false);
                 self.stats.cycles_detected.fetch_add(1, Ordering::Relaxed);
                 self.local.cycles_detected += 1;
                 p.obs.record(
@@ -1084,15 +1421,17 @@ impl WorkerCtx {
                     },
                 );
                 let me = self.me;
-                for (owner, r, inc) in delete {
+                let barrier = self.cfg.ic_barrier;
+                for (owner, r, inc, ic) in delete {
                     if owner == me {
-                        delete_scion(p, r, inc, now, &self.stats, &mut self.local);
+                        delete_scion(p, r, inc, ic, barrier, now, &self.stats, &mut self.local);
                     } else {
-                        self.send(owner, ThreadMsg::DeleteScion(r, inc), MsgKind::Delete);
+                        self.send(owner, ThreadMsg::DeleteScion(r, inc, ic), MsgKind::Delete);
                     }
                 }
             }
             Outcome::DroppedNoScion => {
+                self.settle_credit(p, id, initiator, credit, false);
                 self.local.detections_dropped_no_scion += 1;
                 p.obs.record(
                     now,
@@ -1108,6 +1447,7 @@ impl WorkerCtx {
                 source_ic,
                 target_ic,
             } => {
+                self.settle_credit(p, id, initiator, credit, false);
                 self.local.detections_aborted_ic += 1;
                 p.obs.record(
                     now,
@@ -1121,6 +1461,7 @@ impl WorkerCtx {
                 );
             }
             Outcome::DroppedHopCap => {
+                self.settle_credit(p, id, initiator, credit, false);
                 self.local.detections_dropped_hops += 1;
                 p.obs.record(
                     now,
@@ -1132,6 +1473,16 @@ impl WorkerCtx {
                 );
             }
             Outcome::Terminated(reason) => {
+                // Clean means "re-running this leaf on unchanged state
+                // reproduces the same non-cycle conclusion": NoStubs and
+                // AllStubsLocallyReachable are conclusive, and a
+                // NoNewInformation terminal only re-crossed pairs an
+                // ancestor branch already explored past. BudgetExhausted
+                // is the exception — a retry may start from a different
+                // candidate of the same structure and get further, so it
+                // must not be laundered into a verdict.
+                let clean = !matches!(reason, TerminateReason::BudgetExhausted);
+                self.settle_credit(p, id, initiator, credit, clean);
                 let (field, obs_reason): (fn(&mut Metrics) -> &mut u64, _) = match reason {
                     TerminateReason::NoStubs => (
                         |m| &mut m.detections_terminated_no_stubs,
@@ -1159,6 +1510,57 @@ impl WorkerCtx {
                         reason: obs_reason,
                     },
                 );
+            }
+        }
+    }
+
+    /// Route a dying derivation's credit back to its initiator: applied
+    /// directly when the initiator is this worker (the common case for
+    /// outcomes produced at initiation time), echoed over the wire
+    /// otherwise. The echo rides the same lossy channel as every other GC
+    /// message — a lost echo just means the initiator never recovers full
+    /// credit and the candidate retries after its backoff, exactly the
+    /// status quo.
+    fn settle_credit(
+        &mut self,
+        p: &mut Process,
+        id: DetectionId,
+        initiator: ProcId,
+        credit: u64,
+        clean: bool,
+    ) {
+        if initiator == self.me {
+            self.apply_credit(p, id, credit, clean);
+        } else {
+            self.local.liveness_echoes += 1;
+            self.send(
+                initiator,
+                ThreadMsg::DetectionCredit { id, credit, clean },
+                MsgKind::Credit,
+            );
+        }
+    }
+
+    /// Initiator side of the weight-throwing scheme: fold an echo into
+    /// the outstanding-detection ledger; when the last credit lands with
+    /// every echo clean *and* no mutation raced the walk, record a lazy
+    /// liveness verdict so the candidate scan stops re-picking the scion
+    /// until the next mutation epoch.
+    fn apply_credit(&mut self, p: &mut Process, id: DetectionId, credit: u64, clean: bool) {
+        let Some(o) = self.outstanding.get_mut(&id) else {
+            // Evicted (ledger cap) or a stale echo for a detection whose
+            // verdict already settled; either way there is nothing to
+            // account against.
+            return;
+        };
+        o.credit = o.credit.saturating_sub(credit);
+        o.clean &= clean;
+        if o.credit == 0 {
+            let done = self.outstanding.remove(&id).expect("present above");
+            let epoch_now = self.quiescence.mutation_events.load(Ordering::SeqCst);
+            if done.clean && epoch_now == done.epoch {
+                p.candidates.record_live_verdict(done.scion, done.epoch);
+                self.local.liveness_verdicts += 1;
             }
         }
     }
@@ -1217,12 +1619,27 @@ impl WorkerCtx {
         // seq with an earlier stamp and break per-process monotonicity.
         self.flush_into(p);
 
+        // Re-judge scions that an earlier NSS application skipped because
+        // they were pinned (mutator export/invocation in flight). The
+        // accepted live sets are saved in the tables; a scion that has
+        // since been unpinned without a refresh is retroactively dead.
+        let deferred = p.tables.sweep_deferred_nss();
+        if !deferred.is_empty() {
+            self.local.scions_reclaimed_acyclic += deferred.len() as u64;
+            active = true;
+        }
+
         p.refresh_summary(self.cfg.summarizer, t);
         self.stats.snapshots.fetch_add(1, Ordering::Relaxed);
         self.local.snapshots += 1;
         self.local.summary_scions += p.summary.scions.len() as u64;
         self.local.summary_stubs += p.summary.stubs.len() as u64;
 
+        // Advance the candidate table's mutation epoch before scanning:
+        // any mutator activity since the last sweep invalidates earlier
+        // proven-live suppressions (the structure may have changed shape),
+        // and stale verdicts still in flight die on the epoch check.
+        p.candidates.set_epoch(self.last_mutation_seen);
         let scan = p.scan(t, &self.cfg);
         // Deferred candidates are scheduled retries: quiescence now would
         // abandon them, and with message loss a retry may be the only
@@ -1239,11 +1656,33 @@ impl WorkerCtx {
                 s.ic,
             );
             let id = cdm.detection_id;
+            // Open the weight-throwing ledger entry for this detection.
+            // Any older entry for the same scion is superseded — its
+            // late echoes will miss the ledger and be ignored.
+            self.outstanding.retain(|_, o| o.scion != scion);
+            if self.outstanding.len() >= OUTSTANDING_CAP {
+                // Forget the oldest half; those candidates just lose a
+                // potential suppression and retry after backoff.
+                let mut ids: Vec<DetectionId> = self.outstanding.keys().copied().collect();
+                ids.sort_unstable_by_key(|d| d.0);
+                for stale in ids.into_iter().take(OUTSTANDING_CAP / 2) {
+                    self.outstanding.remove(&stale);
+                }
+            }
+            self.outstanding.insert(
+                id,
+                Outstanding {
+                    scion,
+                    epoch: self.last_mutation_seen,
+                    credit: acdgc_dcda::FULL_CREDIT,
+                    clean: true,
+                },
+            );
             self.local.detections_started += 1;
             p.obs.record(t, Event::DetectionStarted { id, scion });
             let sw = p.obs.stopwatch();
             let outcome = acdgc_dcda::initiate(&p.summary, cdm, scion, &self.cfg);
-            self.handle_outcome(p, id, 0, outcome);
+            self.handle_outcome(p, id, 0, self.me, acdgc_dcda::FULL_CREDIT, outcome);
             p.obs.lap(Phase::CdmHandling, sw);
         }
         // Fold this sweep's tail (events recorded on the send path while
@@ -1316,17 +1755,25 @@ impl WorkerCtx {
 /// `Metrics`) and records the [`Event::ScionDeleted`] forensic event. One
 /// implementation for the CycleFound, DeleteScion, and final-drain paths
 /// so the ledgers cannot diverge between them.
+#[allow(clippy::too_many_arguments)]
 fn delete_scion(
     p: &mut Process,
     r: RefId,
     inc: u32,
+    ic: u64,
+    ic_barrier: bool,
     now: SimTime,
     stats: &ThreadedStats,
     local: &mut Metrics,
 ) -> bool {
+    // Three deletion guards: the pin (an export/invocation is in flight
+    // right now), the incarnation (ABA — a recreated scion under the same
+    // id is a different reference), and the lazy IC barrier (the counter
+    // moved since the verdict witnessed it, so a mutator used the
+    // reference after the walk and the verdict is stale).
     if p.tables
         .scion(r)
-        .is_some_and(|s| s.pinned == 0 && s.incarnation == inc)
+        .is_some_and(|s| s.pinned == 0 && s.incarnation == inc && (!ic_barrier || s.ic == ic))
         && p.tables.remove_scion(r).is_some()
     {
         stats.scions_deleted.fetch_add(1, Ordering::Relaxed);
@@ -1388,6 +1835,29 @@ fn worker(
             ctx.quiet_streak = 0;
         }
 
+        // Mutation check: a mutator op anywhere in the system can create
+        // fresh garbage (or fresh work) on *this* process via an export or
+        // an invocation, so any unseen mutation resets the quiet streak —
+        // and rescinds an already-cast vote so the barrier can't close
+        // around activity we have not yet swept.
+        let mutations = ctx.quiescence.mutation_events.load(Ordering::SeqCst);
+        if mutations != ctx.last_mutation_seen {
+            if ctx.voted {
+                ctx.voted = false;
+                ctx.quiescence.votes.fetch_sub(1, Ordering::SeqCst);
+                ctx.quiescence.rescinds.fetch_add(1, Ordering::SeqCst);
+                ctx.stats.votes_rescinded.fetch_add(1, Ordering::Relaxed);
+                ctx.local.votes_rescinded += 1;
+                ctx.trace(Event::VoteRescinded { sweep: ctx.round });
+            }
+            ctx.quiet_streak = 0;
+            ctx.last_mutation_seen = mutations;
+        }
+        // Publish what we've seen *after* folding it into our streak, so
+        // the global check's "every worker has seen the final mutation"
+        // reads a value that postdates the streak reset.
+        ctx.quiescence.mutation_seen[me].store(mutations, Ordering::SeqCst);
+
         if !ctx.voted {
             hb.slot(me).set_stage(WorkerStage::Sweeping, now_us(start));
             let active = ctx.sweep(&cell, start);
@@ -1432,6 +1902,403 @@ fn worker(
     // Signal the watchdog monitor that this worker has fully exited; the
     // monitor loops until every worker has, not until the stop flag.
     ctx.quiescence.workers_done.fetch_add(1, Ordering::SeqCst);
+}
+
+/// State owned by one concurrent-mutator thread: the processes it may
+/// mutate, the objects it allocated (all rooted at birth), and the remote
+/// edges it created. Confining every mutation to thread-owned processes
+/// and thread-allocated objects means mutator threads never race *each
+/// other* on a stub table or heap — every data race the stress tests
+/// exercise is mutator-vs-collector, through the per-process locks.
+struct MutatorCtx {
+    /// Indices of the processes this thread owns (round-robin partition).
+    my_procs: Vec<usize>,
+    cells: Vec<Arc<Mutex<Process>>>,
+    /// Worker event tails — mutator ops are pushed here (pre-stamped) and
+    /// flushed into the per-process ring by the owning worker.
+    tails: Vec<SharedTail>,
+    /// Per-process Lamport clock handles (the same atomics the workers
+    /// tick), so mutator events share the collectors' causal axis.
+    clocks: Vec<LamportClock>,
+    trace_on: bool,
+    lamport_on: bool,
+    mcfg: MutatorConfig,
+    rng: SmallRng,
+    /// Fresh reference-id allocator shared by all mutator threads.
+    ref_ids: Arc<AtomicU64>,
+    /// Append-only log of every structural mutation, for shadow replay.
+    log: Arc<Mutex<Vec<MutOp>>>,
+    stats: Arc<ThreadedStats>,
+    quiescence: Arc<Quiescence>,
+    /// Objects this thread allocated; every entry is currently rooted.
+    owned: Vec<ObjId>,
+    /// Remote edges this thread created: (holder, ref, target).
+    edges: Vec<(ObjId, RefId, ObjId)>,
+}
+
+/// Lock two process cells in ascending index order. Pure hygiene between
+/// mutator threads (their process sets are disjoint anyway); collector
+/// workers only ever hold one process lock at a time, so a mutator
+/// holding two cannot deadlock against them in any order.
+fn lock_pair<'l>(
+    cell_a: &'l Arc<Mutex<Process>>,
+    cell_b: &'l Arc<Mutex<Process>>,
+    a: usize,
+    b: usize,
+) -> (
+    std::sync::MutexGuard<'l, Process>,
+    std::sync::MutexGuard<'l, Process>,
+) {
+    if a < b {
+        let ga = cell_a.lock();
+        let gb = cell_b.lock();
+        (ga, gb)
+    } else {
+        let gb = cell_b.lock();
+        let ga = cell_a.lock();
+        (ga, gb)
+    }
+}
+
+impl MutatorCtx {
+    /// Record a mutator op into `pi`'s event tail. Must be called while
+    /// holding `pi`'s process lock: the owning worker flushes its tail at
+    /// every lock acquisition before recording directly, so a push landing
+    /// *between* a flush and a direct record would break per-process stamp
+    /// monotonicity in ring order. Under the process lock it cannot.
+    fn trace_op(&self, pi: usize, op: MutatorOpKind, ref_id: Option<RefId>, start: Instant) {
+        if !self.trace_on {
+            return;
+        }
+        let at = SimTime(now_us(start) + 1);
+        let mut tail = self.tails[pi].lock();
+        // Tick inside the tail lock — see `WorkerCtx::trace`.
+        let lc = if self.lamport_on {
+            self.clocks[pi].tick()
+        } else {
+            0
+        };
+        tail.push((at, lc, Event::MutatorOp { op, ref_id }));
+    }
+
+    fn now(&self, start: Instant) -> SimTime {
+        SimTime(now_us(start) + 1)
+    }
+
+    /// Allocate a fresh object on a random owned process and root it in
+    /// the same critical section. Always succeeds; doubles as the fallback
+    /// when another op's preconditions fail, so every loop iteration
+    /// performs *some* mutation.
+    fn op_allocate(&mut self, start: Instant) -> bool {
+        let pi = self.my_procs[self.rng.gen_range(0..self.my_procs.len())];
+        let cell = Arc::clone(&self.cells[pi]);
+        let obj = {
+            let mut guard = cell.lock();
+            let p = &mut *guard;
+            let obj = p.heap.alloc(1);
+            p.heap
+                .add_root(obj)
+                .expect("freshly allocated object can always be rooted");
+            p.metrics.mutator_allocs += 1;
+            self.log.lock().push(MutOp::Allocate { obj, rooted: true });
+            self.trace_op(pi, MutatorOpKind::Allocate, None, start);
+            obj
+        };
+        self.owned.push(obj);
+        true
+    }
+
+    /// Export a remote reference from one owned object to another owned
+    /// object on a different process. When no stub/scion pair exists for
+    /// the (source, target) yet, this runs the three-step pin/unpin
+    /// handshake a real RPC layer would: create the scion *pinned* on the
+    /// target process, materialize the stub and heap edge on the holder,
+    /// then refresh-and-unpin the scion. The refresh is load-bearing: any
+    /// live set the collector accepted during the window predates the new
+    /// `created_at`, so the deferred NSS re-judgement cannot reclaim the
+    /// scion before the next live set names it.
+    fn op_export(&mut self, start: Instant) -> bool {
+        if self.owned.len() < 2 {
+            return false;
+        }
+        let h = self.owned[self.rng.gen_range(0..self.owned.len())];
+        let targets: Vec<ObjId> = self
+            .owned
+            .iter()
+            .copied()
+            .filter(|o| o.proc != h.proc)
+            .collect();
+        if targets.is_empty() {
+            return false;
+        }
+        let t = targets[self.rng.gen_range(0..targets.len())];
+        let (a, b) = (h.proc.index(), t.proc.index());
+        let now = self.now(start);
+        let (cell_a, cell_b) = (Arc::clone(&self.cells[a]), Arc::clone(&self.cells[b]));
+
+        // Probe for an existing pair under both locks. Both `h` and `t`
+        // are this thread's objects, so any stub/scion for the pair was
+        // created by this thread — the collector can only *remove* them.
+        let reused = {
+            let (mut ga, mut gb) = lock_pair(&cell_a, &cell_b, a, b);
+            let stub = ga.tables.stub_for_target(t).map(|s| s.ref_id);
+            let scion = gb.tables.scion_for_source(h.proc, t).map(|s| s.ref_id);
+            let r = match (stub, scion) {
+                (Some(r), Some(r2)) => {
+                    debug_assert_eq!(r, r2, "stub/scion pair diverged for one (source, target)");
+                    ga.tables.pardon_stub(r);
+                    ga.heap
+                        .add_ref(h, HeapRef::Remote(r))
+                        .expect("owned holder is rooted and alive");
+                    // Refresh: the pre-existing stub may have been dead at
+                    // the last LGC, so a saved live set may omit `r`.
+                    gb.tables.refresh_scion(r, now);
+                    Some(r)
+                }
+                (None, Some(r)) => {
+                    // The holder dropped its last edge through `r` and the
+                    // dead-stub sweep already ran, but the scion survives
+                    // on the remote side. Re-materialize the stub — and
+                    // adopt the scion's invocation counter: a zero-IC stub
+                    // against a scion with history would veto every future
+                    // CDM over the pair (see `sync_stub_ic`).
+                    let scion_ic = gb.tables.scion(r).expect("probed under this lock").ic;
+                    ga.tables.add_stub(r, t, now);
+                    ga.tables
+                        .sync_stub_ic(r, scion_ic)
+                        .expect("stub added under this lock");
+                    ga.heap
+                        .add_ref(h, HeapRef::Remote(r))
+                        .expect("owned holder is rooted and alive");
+                    gb.tables.refresh_scion(r, now);
+                    Some(r)
+                }
+                (Some(_), None) => {
+                    // A live stub with no scion means the collector
+                    // deleted a reference the mutator still holds — never
+                    // legal. Count it (stress tests assert zero) and skip.
+                    self.stats
+                        .mutator_missing_scions
+                        .fetch_add(1, Ordering::Relaxed);
+                    ga.metrics.mutator_ops_skipped += 1;
+                    return false;
+                }
+                (None, None) => None,
+            };
+            if let Some(r) = r {
+                // Re-animating an existing pair may race an in-flight
+                // cycle verdict computed while the pair looked garbage.
+                // An export rides an invocation (the paper marshals
+                // references as invocation arguments), so bump both
+                // counters under both locks: any verdict that witnessed
+                // the old counter dies at its delete-site IC re-check.
+                ga.tables
+                    .record_send_through_stub(r)
+                    .expect("stub exists under this lock");
+                gb.tables
+                    .record_receive_through_scion(r, now)
+                    .expect("scion exists under this lock");
+                ga.metrics.mutator_exports += 1;
+                self.log.lock().push(MutOp::AddRemoteRef(h, r, t));
+                self.trace_op(a, MutatorOpKind::Export, Some(r), start);
+            }
+            r
+        };
+        if let Some(r) = reused {
+            self.edges.push((h, r, t));
+            return true;
+        }
+
+        // Fresh pair: three-step handshake with the scion pinned across
+        // the window where no stub names it yet (an NSS built in that
+        // window would otherwise delete it on sight).
+        let r = RefId(self.ref_ids.fetch_add(1, Ordering::Relaxed));
+        {
+            let mut gb = cell_b.lock();
+            gb.tables.add_scion(r, t, h.proc, now);
+            gb.tables
+                .pin_scion(r)
+                .expect("scion added under the same lock");
+        }
+        thread::yield_now();
+        {
+            let now2 = self.now(start);
+            let mut ga = cell_a.lock();
+            ga.tables.add_stub(r, t, now2);
+            ga.heap
+                .add_ref(h, HeapRef::Remote(r))
+                .expect("owned holder is rooted and alive");
+            ga.metrics.mutator_exports += 1;
+            self.log.lock().push(MutOp::AddRemoteRef(h, r, t));
+            self.trace_op(a, MutatorOpKind::Export, Some(r), start);
+        }
+        thread::yield_now();
+        {
+            let now3 = self.now(start);
+            let mut gb = cell_b.lock();
+            // Refresh *before* unpinning: moves `created_at` past any live
+            // set accepted during the window, closing the deferred-NSS
+            // race (see `RemotingTables::sweep_deferred_nss`).
+            gb.tables.refresh_scion(r, now3);
+            gb.tables
+                .unpin_scion(r)
+                .expect("a pinned scion cannot be deleted");
+        }
+        self.edges.push((h, r, t));
+        true
+    }
+
+    /// Invoke along a previously created remote edge: bump the stub-side
+    /// invocation counter, pin the target scion, deliver (bump the scion
+    /// IC), unpin. The pin holds the invocation target against concurrent
+    /// deletion while the call is in flight; the stub-side IC bump alone
+    /// already invalidates any CDM verdict computed before it (the IC
+    /// barrier), which is why no refresh is needed on unpin.
+    fn op_invoke(&mut self, start: Instant) -> bool {
+        if self.edges.is_empty() {
+            return false;
+        }
+        let ei = self.rng.gen_range(0..self.edges.len());
+        let (h, r, t) = self.edges[ei];
+        let (a, b) = (h.proc.index(), t.proc.index());
+        let (cell_a, cell_b) = (Arc::clone(&self.cells[a]), Arc::clone(&self.cells[b]));
+        {
+            let mut ga = cell_a.lock();
+            match ga.tables.record_send_through_stub(r) {
+                Ok(_) => {
+                    ga.metrics.mutator_invokes += 1;
+                    self.trace_op(a, MutatorOpKind::Invoke, Some(r), start);
+                }
+                Err(_) => {
+                    // The holder is rooted, so its stub should be alive;
+                    // treat a miss as a stale edge and retire it.
+                    ga.metrics.mutator_ops_skipped += 1;
+                    drop(ga);
+                    self.stats.mutator_skips.fetch_add(1, Ordering::Relaxed);
+                    self.edges.swap_remove(ei);
+                    return false;
+                }
+            }
+        }
+        // Pin before the (simulated) wire delay so the target chain
+        // cannot be deleted while the invocation is in flight.
+        {
+            let mut gb = cell_b.lock();
+            if gb.tables.pin_scion(r).is_err() {
+                // Stub alive, scion gone: the collector deleted a live
+                // reference. Never legal — stress tests assert zero.
+                self.stats
+                    .mutator_missing_scions
+                    .fetch_add(1, Ordering::Relaxed);
+                gb.metrics.mutator_ops_skipped += 1;
+                return false;
+            }
+        }
+        thread::yield_now();
+        {
+            let now2 = self.now(start);
+            let mut gb = cell_b.lock();
+            gb.tables
+                .record_receive_through_scion(r, now2)
+                .expect("a pinned scion cannot vanish");
+            gb.tables
+                .unpin_scion(r)
+                .expect("a pinned scion cannot vanish");
+        }
+        true
+    }
+
+    /// Drop structure this thread built: remove a remote edge (variant A)
+    /// or unroot an owned object (variant B). Both turn mutator-built
+    /// structure into garbage the racing collector must reclaim — without
+    /// ever reclaiming anything still reachable.
+    fn op_drop(&mut self, start: Instant) -> bool {
+        let drop_edge = !self.edges.is_empty() && (self.owned.is_empty() || self.rng.gen_bool(0.5));
+        if drop_edge {
+            let ei = self.rng.gen_range(0..self.edges.len());
+            let (h, r, _t) = self.edges[ei];
+            let a = h.proc.index();
+            let cell = Arc::clone(&self.cells[a]);
+            {
+                let mut ga = cell.lock();
+                ga.heap
+                    .remove_ref(h, HeapRef::Remote(r))
+                    .expect("tracked edge is present in the holder");
+                ga.metrics.mutator_ref_drops += 1;
+                self.log.lock().push(MutOp::RemoveRemoteRef(h, r));
+                self.trace_op(a, MutatorOpKind::DropRef, Some(r), start);
+            }
+            self.edges.swap_remove(ei);
+            true
+        } else if !self.owned.is_empty() {
+            let oi = self.rng.gen_range(0..self.owned.len());
+            let x = self.owned[oi];
+            let pi = x.proc.index();
+            let cell = Arc::clone(&self.cells[pi]);
+            {
+                let mut g = cell.lock();
+                let removed = g.heap.remove_root(x).expect("owned object is alive");
+                debug_assert!(removed, "owned object is always rooted");
+                g.metrics.mutator_root_drops += 1;
+                self.log.lock().push(MutOp::RemoveRoot(x));
+                self.trace_op(pi, MutatorOpKind::DropRoot, None, start);
+            }
+            self.owned.swap_remove(oi);
+            // `x` may die at the next LGC; never invoke or drop through
+            // its outgoing edges again. Edges *targeting* `x` stay valid:
+            // the scion keeps `x` alive until every holder lets go.
+            self.edges.retain(|(holder, _, _)| *holder != x);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Body of one concurrent-mutator thread (see [`MutatorCtx`]): a weighted
+/// random op mix, rate-paced, racing the collector workers through the
+/// same per-process locks until its op budget is drained.
+fn mutator(mut ctx: MutatorCtx, start: Instant, deadline: Duration) {
+    let total = ctx.mcfg.total_weight();
+    let pace = Duration::from_micros(ctx.mcfg.pace.as_ticks());
+    let mut ops_done = 0u64;
+    while ops_done < ctx.mcfg.ops_per_thread {
+        if ctx.quiescence.stop.load(Ordering::SeqCst)
+            || start.elapsed() >= deadline
+            || ctx.my_procs.is_empty()
+        {
+            break;
+        }
+        let roll = ctx.rng.gen_range(0..total);
+        let w_alloc = ctx.mcfg.allocate_weight;
+        let w_export = w_alloc + ctx.mcfg.export_weight;
+        let w_invoke = w_export + ctx.mcfg.invoke_weight;
+        let applied = if roll < w_alloc {
+            ctx.op_allocate(start)
+        } else if roll < w_export {
+            ctx.op_export(start) || ctx.op_allocate(start)
+        } else if roll < w_invoke {
+            ctx.op_invoke(start) || ctx.op_allocate(start)
+        } else {
+            ctx.op_drop(start) || ctx.op_allocate(start)
+        };
+        if applied {
+            ops_done += 1;
+            // Bump *after* the process locks are released: a worker that
+            // observes the new count and then sweeps is guaranteed the
+            // mutation itself is visible under the lock it takes — see
+            // `Quiescence::globally_quiet` for how the barrier uses this.
+            ctx.quiescence
+                .mutation_events
+                .fetch_add(1, Ordering::SeqCst);
+            ctx.stats.mutator_ops.fetch_add(1, Ordering::Relaxed);
+        }
+        if !pace.is_zero() {
+            thread::sleep(pace);
+        }
+        thread::yield_now();
+    }
+    ctx.quiescence.mutators_done.fetch_add(1, Ordering::SeqCst);
 }
 
 /// Microseconds since the run started — the worker/watchdog shared clock.

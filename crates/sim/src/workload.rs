@@ -15,13 +15,21 @@ use rand::Rng;
 /// Operation mix for [`RandomMutator`]; weights are relative.
 #[derive(Clone, Debug)]
 pub struct MutatorConfig {
+    /// Weight of *allocate a new object*.
     pub alloc_weight: u32,
+    /// Weight of *root an existing object*.
     pub add_root_weight: u32,
+    /// Weight of *unroot a rooted object*.
     pub remove_root_weight: u32,
+    /// Weight of *add a local edge*.
     pub add_local_ref_weight: u32,
+    /// Weight of *remove a local edge*.
     pub remove_local_ref_weight: u32,
+    /// Weight of *create a remote reference*.
     pub add_remote_ref_weight: u32,
+    /// Weight of *drop a remote reference*.
     pub drop_remote_ref_weight: u32,
+    /// Weight of *invoke along a remote reference*.
     pub invoke_weight: u32,
     /// Probability an invocation exports a reference.
     pub export_probability: f64,
@@ -60,6 +68,7 @@ pub struct RandomMutator {
 }
 
 impl RandomMutator {
+    /// A mutator with the given op mix and no tracked handles yet.
     pub fn new(cfg: MutatorConfig) -> Self {
         RandomMutator {
             cfg,
@@ -70,6 +79,7 @@ impl RandomMutator {
         }
     }
 
+    /// How many operations actually applied (skips excluded).
     pub fn ops_applied(&self) -> u64 {
         self.ops_applied
     }

@@ -584,6 +584,7 @@ impl SccEngine {
                     target_locally_reachable,
                     last_invoked: scion.last_invoked,
                     incarnation: scion.incarnation,
+                    pinned: scion.pinned,
                 },
             );
         }

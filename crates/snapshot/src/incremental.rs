@@ -209,6 +209,7 @@ impl IncrementalSummarizer {
                         .contains(scion.target.slot as usize),
                     last_invoked: scion.last_invoked,
                     incarnation: scion.incarnation,
+                    pinned: scion.pinned,
                 },
             );
         }

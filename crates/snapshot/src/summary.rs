@@ -31,6 +31,10 @@ pub struct ScionSummary {
     /// Scion incarnation under its reference id (ABA guard for verdict
     /// deletions).
     pub incarnation: u32,
+    /// Pin count captured at snapshot time. A pinned scion has an export
+    /// or invocation in flight — it is mutator-active by definition and
+    /// must not be treated as a cycle candidate.
+    pub pinned: u32,
 }
 
 /// Summary of one stub (outgoing remote reference).
@@ -119,6 +123,7 @@ pub fn summarize(
                 target_locally_reachable: root_closure.slots.contains(scion.target.slot as usize),
                 last_invoked: scion.last_invoked,
                 incarnation: scion.incarnation,
+                pinned: scion.pinned,
             },
         );
     }

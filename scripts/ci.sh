@@ -33,6 +33,16 @@ fi
 echo "trace artifacts kept under $trace_dir:"
 ls -l "$trace_dir"
 
+echo "==> concurrent mutator stress matrix (release, hard time budget)"
+# Mutator threads race the collector workers through the per-process
+# locks across a seed × drop-rate × mutation-rate matrix (≥30% GC-message
+# loss included). Each run must end by quiescence votes and pass the
+# shadow-oracle safety/completeness audit; the 300s cap fails CI if the
+# matrix ever degenerates into waiting out per-test deadlines. Failing
+# runs dump their trace artifacts next to the stress ones above.
+ACDGC_TRACE_ARTIFACT="$trace_dir" \
+    timeout 300 cargo test -q --offline --release --test concurrent_mutator
+
 echo "==> trace forensics gate (acdgc-report --check)"
 # Every artifact the stress stage exported must reconstruct with balanced
 # detection ledgers, monotonic hop counters, and — the stress config runs
@@ -165,6 +175,11 @@ echo "==> bench smoke (1-sample compile + run gate)"
 ACDGC_BENCH_SMOKE=1 cargo bench --offline -p acdgc-bench --bench summarization
 ACDGC_BENCH_SMOKE=1 cargo bench --offline -p acdgc-bench --bench gc_round
 ACDGC_BENCH_SMOKE=1 cargo bench --offline -p acdgc-bench --bench trace_overhead
+
+echo "==> rustdoc (-D warnings, no deps)"
+# The public API carries #![warn(missing_docs)] on acdgc-sim and
+# acdgc-model; broken intra-doc links or missing docs fail the build here.
+RUSTDOCFLAGS="-D warnings" cargo doc -q --offline --no-deps --workspace
 
 echo "==> clippy (-D warnings)"
 cargo clippy --offline --workspace --all-targets -- -D warnings

@@ -129,7 +129,7 @@ fn algebra_trace_matches_paper_steps_1_through_26() {
     let Outcome::CycleFound { delete } = out else {
         panic!("step 26 expects a cycle verdict, got {out:?}");
     };
-    let deleted: Vec<RefId> = delete.iter().map(|&(_, r, _)| r).collect();
+    let deleted: Vec<RefId> = delete.iter().map(|&(_, r, _, _)| r).collect();
     assert!(
         deleted.contains(&fig.r_bf),
         "step 26: the scion accounting for the reference to F_P2 is deleted"

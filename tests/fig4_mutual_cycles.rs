@@ -193,7 +193,7 @@ fn algebra_trace_matches_section_3_1() {
     assert!(
         delete
             .iter()
-            .any(|&(p, r, _)| p == fig.p5 && r == fig.r_zby),
+            .any(|&(p, r, _, _)| p == fig.p5 && r == fig.r_zby),
         "step 26: cycle found at P5, Y's scion deleted"
     );
     assert_eq!(delete.len(), 7, "all seven matched references are garbage");
@@ -243,7 +243,9 @@ fn detection_also_succeeds_from_the_other_derivation() {
     let Outcome::CycleFound { delete } = out else {
         panic!("expected the mirror walk to close at P5, got {out:?}");
     };
-    assert!(delete.iter().any(|&(p, r, _)| p == fig.p5 && r == fig.r_fv));
+    assert!(delete
+        .iter()
+        .any(|&(p, r, _, _)| p == fig.p5 && r == fig.r_fv));
 }
 
 #[test]

@@ -236,6 +236,69 @@ fn lamport_clocks_leave_the_metrics_ledgers_bit_identical() {
 }
 
 #[test]
+fn sampling_lamport_and_mutator_config_are_jointly_inert() {
+    // Three-way parity: telemetry sampling, Lamport causal tracing, and a
+    // fully-armed `MutatorConfig` flipped on *together* must leave a
+    // sequential run bit-identical to the all-off run. Sampling and
+    // clocks are read-only observation; the mutator config only arms
+    // threads in the threaded runtime, so the sequential scheduler must
+    // not so much as branch on it. Any drift in any counter means one of
+    // the three leaked into protocol logic.
+    use acdgc::model::{MutatorConfig, SamplingConfig, TraceConfig};
+    let run = |sampling: SamplingConfig, trace: TraceConfig, mutator: MutatorConfig| {
+        let mut sys = System::new(
+            4,
+            GcConfig {
+                sampling,
+                trace,
+                mutator,
+                ..GcConfig::manual()
+            },
+            NetConfig::default(),
+            74,
+        );
+        let procs: Vec<ProcId> = (0..4).map(ProcId).collect();
+        let _live = scenarios::ring(&mut sys, &procs, 3, true);
+        let _dead = scenarios::ring(&mut sys, &procs, 3, false);
+        let rounds = sys.collect_to_fixpoint(30);
+        let per_proc: Vec<_> = procs.iter().map(|&p| *sys.metrics_for(p)).collect();
+        (
+            rounds,
+            sys.metrics,
+            per_proc,
+            sys.total_live_objects(),
+            sys.total_scions(),
+            sys.clock(),
+        )
+    };
+    let off = run(
+        SamplingConfig::default(),
+        TraceConfig::default(),
+        MutatorConfig::default(),
+    );
+    let all_on = run(
+        SamplingConfig {
+            enabled: true,
+            sample_every: 1,
+            capacity: 16,
+        },
+        TraceConfig::causal(),
+        MutatorConfig {
+            enabled: true,
+            threads: 2,
+            ops_per_thread: 500,
+            ..MutatorConfig::default()
+        },
+    );
+    assert_eq!(
+        off, all_on,
+        "sampling + lamport + mutator config changed sequential behaviour"
+    );
+    assert_eq!(off.1.safety_violations(), 0);
+    assert_eq!(off.3, 13, "live rings + anchor survive (4*3+1)");
+}
+
+#[test]
 fn modes_agree_under_churn() {
     // Same seed, same workload, different integration mode: final state
     // must agree (the mode changes timing, never outcomes).

@@ -176,6 +176,7 @@ fn filtered_trace_suppresses_families_but_histograms_still_feed() {
                 nss: false,
                 phases: false,
                 quiescence: false,
+                mutator: false,
             },
             ..TraceConfig::on()
         },
